@@ -1,0 +1,169 @@
+// Package affinity is the public interface to the processor-affinity
+// characterization study: a full-system simulation of a two-processor
+// Pentium 4 Xeon server with eight gigabit NICs running a Linux-2.4-class
+// TCP/IP stack, reproducing Foong et al., "Architectural Characterization
+// of Processor Affinity in Network Processing" (ISPASS 2005).
+//
+// The package lets you run the paper's experiment — a ttcp bulk-transfer
+// workload under one of four affinity modes — and obtain the paper's
+// measurement artifacts:
+//
+//   - throughput, CPU utilization and GHz/Gbps cost (Figures 3-4),
+//   - the functional-bin characterization (Table 1),
+//   - first-order performance-impact indicators (Figure 5),
+//   - Amdahl-decomposed per-bin improvement analysis (Table 3),
+//   - per-CPU machine-clear symbol profiles (Table 4),
+//   - Spearman rank correlations (Table 5).
+//
+// Quick start:
+//
+//	base := affinity.Run(affinity.DefaultConfig(affinity.ModeNone, affinity.TX, 65536))
+//	full := affinity.Run(affinity.DefaultConfig(affinity.ModeFull, affinity.TX, 65536))
+//	fmt.Println(base, full)
+//	fmt.Print(affinity.Compare(base, full).Format())
+//
+// Everything is deterministic: identical Config (including Seed) yields
+// identical results.
+package affinity
+
+import (
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/prof"
+	"repro/internal/ttcp"
+)
+
+// Mode is one of the paper's four affinity modes.
+type Mode = core.Mode
+
+// The four affinity modes of §4.
+const (
+	// ModeNone leaves interrupts on CPU0 and processes to the scheduler.
+	ModeNone = core.ModeNone
+	// ModeProc pins the eight ttcp processes 4/4 across the CPUs.
+	ModeProc = core.ModeProc
+	// ModeIRQ pins the eight NIC interrupt lines 4/4 across the CPUs.
+	ModeIRQ = core.ModeIRQ
+	// ModeFull pins each process to the CPU serving its NIC's interrupts.
+	ModeFull = core.ModeFull
+	// ModePartition is the AsyMOS/ETA-style hard partition (§7 related
+	// work): interrupts on CPU0, applications elsewhere. An extension
+	// beyond the paper's four measured modes.
+	ModePartition = core.ModePartition
+)
+
+// Direction selects the bulk-transfer direction.
+type Direction = ttcp.Direction
+
+// Transfer directions.
+const (
+	// TX: the system under test transmits.
+	TX = ttcp.TX
+	// RX: the system under test receives.
+	RX = ttcp.RX
+)
+
+// Config describes one experiment run; see core.Config for every knob.
+type Config = core.Config
+
+// Result is one measured steady-state window.
+type Result = core.Result
+
+// Machine is a fully assembled simulated SUT, for callers that want to
+// drive warmup and multiple measurement windows themselves.
+type Machine = core.Machine
+
+// Comparison is the paper's §6.3 comparative characterization.
+type Comparison = core.Comparison
+
+// Sweep is a modes × sizes measurement grid (Figures 3-4).
+type Sweep = core.Sweep
+
+// BinTable is the paper's Table 1 characterization.
+type BinTable = prof.BinTable
+
+// EventShare is one Figure 5 row.
+type EventShare = prof.EventShare
+
+// Modes lists the four affinity modes in the paper's order.
+func Modes() []Mode { return core.Modes() }
+
+// AllModes additionally includes the ModePartition extension.
+func AllModes() []Mode { return core.AllModes() }
+
+// Sizes is the paper's transaction-size sweep.
+func Sizes() []int { return append([]int(nil), core.Sizes...) }
+
+// DefaultConfig returns the paper's machine at one operating point: two
+// 2 GHz processors, eight NICs/connections/processes, calibrated model
+// parameters, and a steady-state measurement window.
+func DefaultConfig(mode Mode, dir Direction, size int) Config {
+	return core.DefaultConfig(mode, dir, size)
+}
+
+// Run builds the machine, warms it up, measures one window and returns
+// the result.
+func Run(cfg Config) *Result { return core.Run(cfg) }
+
+// NewMachine assembles a machine without running it; use Machine.Measure
+// for custom windows and Machine.Shutdown when done.
+func NewMachine(cfg Config) *Machine { return core.NewMachine(cfg) }
+
+// Sampler is the Oprofile-style statistical profiler; attach one with
+// Machine.NewSampler to sample where the processors spend their time.
+type Sampler = core.Sampler
+
+// RunSweep measures every (mode, size) cell for one direction.
+func RunSweep(base Config, dir Direction, sizes []int, modes []Mode) Sweep {
+	return core.RunSweep(base, dir, sizes, modes)
+}
+
+// Aggregate summarizes one configuration across several seeds.
+type Aggregate = core.Aggregate
+
+// RunSeeds measures cfg under n consecutive seeds and aggregates the
+// headline metrics (mean ± stdev), playing the role of run-to-run
+// variance in a deterministic simulator.
+func RunSeeds(cfg Config, n int) Aggregate { return core.RunSeeds(cfg, n) }
+
+// Compare performs the paper's §6.3 analysis between a baseline run and
+// an improved run of the same workload.
+func Compare(base, improved *Result) *Comparison { return core.Compare(base, improved) }
+
+// CSVHeader is the column list for Result.CSVRow exports.
+func CSVHeader() string { return core.CSVHeader() }
+
+// Check is one scored reproduction claim.
+type Check = core.Check
+
+// VerifyShape runs the experiment suite and scores every reproduction
+// claim from EXPERIMENTS.md — the executable form of that document. Pass
+// nil to use the paper's default operating points.
+func VerifyShape(cfgFor func(Mode, Direction, int) Config) []Check {
+	return core.VerifyShape(cfgFor)
+}
+
+// FormatChecks renders a verification scorecard.
+func FormatChecks(checks []Check) string { return core.FormatChecks(checks) }
+
+// BaselineTable builds the Table 1 functional-bin characterization.
+func BaselineTable(r *Result) BinTable { return core.BaselineTable(r) }
+
+// Indicators builds the Figure 5 performance-impact indicator column.
+func Indicators(r *Result) []EventShare { return core.Indicators(r) }
+
+// TopClearSymbols builds the Table 4 per-CPU machine-clear profile.
+func TopClearSymbols(r *Result, n int) [][]prof.SymbolCount {
+	return core.TopClearSymbols(r, n)
+}
+
+// PerCPUBinTables builds one Table-1 characterization per processor —
+// the per-CPU view the paper uses in §6.3.
+func PerCPUBinTables(r *Result) []BinTable {
+	return prof.PerCPUBinTables(r.Ctr)
+}
+
+// FormatTopSymbols renders a Table 4 style listing.
+func FormatTopSymbols(rows [][]prof.SymbolCount) string {
+	return prof.FormatTopSymbols(rows, perf.MachineClears)
+}

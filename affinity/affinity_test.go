@@ -1,0 +1,78 @@
+package affinity_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/affinity"
+)
+
+func quickCfg(mode affinity.Mode, dir affinity.Direction, size int) affinity.Config {
+	cfg := affinity.DefaultConfig(mode, dir, size)
+	cfg.WarmupCycles = 20_000_000
+	cfg.MeasureCycles = 60_000_000
+	return cfg
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	base := affinity.Run(quickCfg(affinity.ModeNone, affinity.TX, 16384))
+	full := affinity.Run(quickCfg(affinity.ModeFull, affinity.TX, 16384))
+	if base.Mbps <= 0 || full.Mbps <= 0 {
+		t.Fatalf("no throughput: %v / %v", base.Mbps, full.Mbps)
+	}
+	cmp := affinity.Compare(base, full)
+	out := cmp.Format()
+	for _, want := range []string{"Buf Mgmt", "Overall", "Spearman"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+	tab := affinity.BaselineTable(base)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table 1 has %d bins, want 7", len(tab.Rows))
+	}
+	if got := len(affinity.Indicators(base)); got != 8 {
+		t.Fatalf("Figure 5 has %d rows, want 8 (7 events + instr)", got)
+	}
+	rows := affinity.TopClearSymbols(base, 5)
+	if len(rows) != 2 {
+		t.Fatalf("Table 4 has %d CPU groups, want 2", len(rows))
+	}
+	if !strings.Contains(affinity.FormatTopSymbols(rows), "CPU 0") {
+		t.Error("Table 4 rendering broken")
+	}
+}
+
+func TestPublicEnums(t *testing.T) {
+	if len(affinity.Modes()) != 4 {
+		t.Fatal("want 4 modes")
+	}
+	sizes := affinity.Sizes()
+	if len(sizes) != 7 || sizes[0] != 128 || sizes[6] != 65536 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Sizes returns a copy — mutating it must not affect the package.
+	sizes[0] = 1
+	if affinity.Sizes()[0] != 128 {
+		t.Fatal("Sizes leaked internal slice")
+	}
+	if affinity.ModeFull.String() != "Full Aff" {
+		t.Fatalf("mode name %q", affinity.ModeFull)
+	}
+}
+
+func TestMachineCustomWindows(t *testing.T) {
+	cfg := quickCfg(affinity.ModeIRQ, affinity.RX, 8192)
+	m := affinity.NewMachine(cfg)
+	defer m.Shutdown()
+	m.Eng.Run(20_000_000)
+	r1 := m.Measure(40_000_000)
+	r2 := m.Measure(40_000_000)
+	if r1.Bytes == 0 || r2.Bytes == 0 {
+		t.Fatal("windows measured nothing")
+	}
+	// Counter diffs are per-window, not cumulative.
+	if r2.ElapsedCycles != 40_000_000 {
+		t.Fatalf("window length %d", r2.ElapsedCycles)
+	}
+}

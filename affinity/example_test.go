@@ -1,0 +1,46 @@
+package affinity_test
+
+import (
+	"fmt"
+
+	"repro/affinity"
+)
+
+// Reproduce the headline comparison: the paper's four affinity modes at
+// the 64 KB bulk-transmit operating point.
+func Example_headline() {
+	for _, mode := range affinity.Modes() {
+		r := affinity.Run(affinity.DefaultConfig(mode, affinity.TX, 65536))
+		fmt.Println(r)
+	}
+}
+
+// Drive the paper's §6.3 comparative analysis between two modes.
+func Example_compare() {
+	base := affinity.Run(affinity.DefaultConfig(affinity.ModeNone, affinity.TX, 65536))
+	full := affinity.Run(affinity.DefaultConfig(affinity.ModeFull, affinity.TX, 65536))
+	cmp := affinity.Compare(base, full)
+	fmt.Print(cmp.Format()) // Table 3 + Table 5 correlations
+}
+
+// Attach an Oprofile-style sampler and take several measurement windows
+// from one machine.
+func Example_machine() {
+	cfg := affinity.DefaultConfig(affinity.ModeIRQ, affinity.RX, 8192)
+	m := affinity.NewMachine(cfg)
+	defer m.Shutdown()
+
+	m.Eng.Run(60_000_000) // warm up
+	s := m.NewSampler(20_000)
+	r := m.Measure(120_000_000)
+	s.Stop()
+
+	fmt.Println(r)
+	fmt.Print(s.Format()) // sampled bin distribution, Oprofile-style
+}
+
+// Score every reproduction claim — the executable EXPERIMENTS.md.
+func ExampleVerifyShape() {
+	checks := affinity.VerifyShape(nil)
+	fmt.Print(affinity.FormatChecks(checks))
+}

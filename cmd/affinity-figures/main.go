@@ -1,0 +1,192 @@
+// Command affinity-figures regenerates every table and figure of the
+// paper's evaluation from the simulator.
+//
+// Usage:
+//
+//	affinity-figures [flags]
+//
+//	-fig   3|4|5       regenerate one figure (0 = none)
+//	-table 1|2|3|4|5   regenerate one table (0 = none)
+//	-all               regenerate everything (default if no selection)
+//	-quick             shorter measurement windows (faster, noisier)
+//	-csv               also emit CSV for the sweep figures
+//	-seed  n           simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/affinity"
+	"repro/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (3, 4 or 5)")
+	table := flag.Int("table", 0, "table to regenerate (1-5)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "shorter measurement windows")
+	csv := flag.Bool("csv", false, "emit CSV for sweeps")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "seeds per cell for the headline summary (mean ± stdev)")
+	verify := flag.Bool("verify", false, "score every reproduction claim (executable EXPERIMENTS.md)")
+	flag.Parse()
+
+	if *verify {
+		cfgFor := func(m affinity.Mode, d affinity.Direction, size int) affinity.Config {
+			c := affinity.DefaultConfig(m, d, size)
+			c.Seed = *seed
+			if *quick {
+				c.WarmupCycles = 30_000_000
+				c.MeasureCycles = 100_000_000
+			}
+			return c
+		}
+		fmt.Print(core.FormatChecks(core.VerifyShape(cfgFor)))
+		return
+	}
+	if *fig == 0 && *table == 0 {
+		*all = true
+	}
+	g := generator{quick: *quick, seed: *seed, csv: *csv}
+
+	if *seeds > 1 {
+		g.headline(*seeds)
+	}
+	if *all || *fig == 3 || *fig == 4 {
+		g.sweepFigures(*all || *fig == 3, *all || *fig == 4)
+	}
+	if *all || *table == 1 {
+		g.table1()
+	}
+	if *all || *table == 2 {
+		g.table2()
+	}
+	if *all || *table == 3 || *table == 5 {
+		g.table3and5()
+	}
+	if *all || *table == 4 {
+		g.table4()
+	}
+	if *all || *fig == 5 {
+		g.fig5()
+	}
+}
+
+type generator struct {
+	quick bool
+	seed  uint64
+	csv   bool
+
+	// memoized extreme-point runs shared by tables 1-5 and figure 5
+	runs map[string]*affinity.Result
+}
+
+func (g *generator) base(mode affinity.Mode, dir affinity.Direction, size int) affinity.Config {
+	cfg := affinity.DefaultConfig(mode, dir, size)
+	cfg.Seed = g.seed
+	if g.quick {
+		cfg.WarmupCycles = 30_000_000
+		cfg.MeasureCycles = 100_000_000
+	}
+	return cfg
+}
+
+func (g *generator) run(mode affinity.Mode, dir affinity.Direction, size int) *affinity.Result {
+	if g.runs == nil {
+		g.runs = make(map[string]*affinity.Result)
+	}
+	key := fmt.Sprintf("%v-%v-%d", mode, dir, size)
+	if r, ok := g.runs[key]; ok {
+		return r
+	}
+	r := affinity.Run(g.base(mode, dir, size))
+	g.runs[key] = r
+	return r
+}
+
+// headline prints the four 64 KB mode results aggregated over several
+// seeds, quantifying run-to-run variance.
+func (g *generator) headline(seeds int) {
+	fmt.Printf("=== Headline (TX 64KB) over %d seeds ===\n", seeds)
+	for _, mode := range affinity.Modes() {
+		agg := affinity.RunSeeds(g.base(mode, affinity.TX, 65536), seeds)
+		fmt.Println(agg)
+	}
+	fmt.Println()
+}
+
+func (g *generator) sweepFigures(want3, want4 bool) {
+	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
+		sw := affinity.RunSweep(g.base(affinity.ModeNone, dir, 128), dir, affinity.Sizes(), affinity.Modes())
+		if want3 {
+			fmt.Println("=== Figure 3:", dir, "bandwidth and CPU utilization ===")
+			fmt.Print(sw.FormatFig3())
+			fmt.Println()
+		}
+		if want4 {
+			fmt.Println("=== Figure 4:", dir, "cost in GHz/Gbps ===")
+			fmt.Print(sw.FormatFig4())
+			fmt.Println()
+		}
+		if g.csv {
+			fmt.Print(sw.CSV())
+			fmt.Println()
+		}
+	}
+}
+
+func (g *generator) table1() {
+	fmt.Println("=== Table 1: baseline characterization (no affinity vs full affinity) ===")
+	for _, pt := range core.ExtremePoints() {
+		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
+			r := g.run(mode, pt.Dir, pt.Size)
+			fmt.Printf("--- %s %dB, %s ---\n", pt.Dir, pt.Size, mode)
+			fmt.Print(affinity.BaselineTable(r).Format())
+		}
+	}
+	fmt.Println()
+}
+
+func (g *generator) table2() {
+	fmt.Println("=== Table 2: spinlock behaviour (Locks bin, TX 64KB) ===")
+	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
+		r := g.run(mode, affinity.TX, 65536)
+		lb := core.LockStats(r)
+		fmt.Printf("%-9s instr=%-9d branches=%-9d mispredicts=%-6d ratio=%.3f%% spin=%d cycles\n",
+			mode, lb.Instr, lb.Branches, lb.Mispredicts, 100*lb.MispredictRatio, lb.SpinCycles)
+	}
+	fmt.Println()
+}
+
+func (g *generator) table3and5() {
+	fmt.Println("=== Table 3: relating improvements to events (and Table 5 correlations) ===")
+	for _, pt := range core.ExtremePoints() {
+		base := g.run(affinity.ModeNone, pt.Dir, pt.Size)
+		full := g.run(affinity.ModeFull, pt.Dir, pt.Size)
+		fmt.Print(affinity.Compare(base, full).Format())
+		fmt.Println()
+	}
+}
+
+func (g *generator) table4() {
+	fmt.Println("=== Table 4: symbols with highest machine clears (TX/RX 128B) ===")
+	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
+		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
+			r := g.run(mode, dir, 128)
+			fmt.Printf("--- %s 128B, %s ---\n", dir, mode)
+			fmt.Print(affinity.FormatTopSymbols(affinity.TopClearSymbols(r, 8)))
+		}
+	}
+	fmt.Println()
+}
+
+func (g *generator) fig5() {
+	fmt.Println("=== Figure 5: performance impact indicators ===")
+	for _, pt := range core.ExtremePoints() {
+		base := g.run(affinity.ModeNone, pt.Dir, pt.Size)
+		full := g.run(affinity.ModeFull, pt.Dir, pt.Size)
+		fmt.Print(core.FormatFig5Pair(base, full))
+		fmt.Println()
+	}
+}

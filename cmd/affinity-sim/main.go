@@ -1,0 +1,118 @@
+// Command affinity-sim runs one configuration of the paper's experiment
+// and prints the measured result, optionally with the profiling tables.
+//
+// Usage:
+//
+//	affinity-sim [flags]
+//
+//	-mode   none|proc|irq|full   affinity mode (default none)
+//	-dir    tx|rx                transfer direction (default tx)
+//	-size   bytes                ttcp transaction size (default 65536)
+//	-seed   n                    simulation seed (default 1)
+//	-warmup cycles               warmup window (default 60e6)
+//	-measure cycles              measured window (default 240e6)
+//	-table1                      print the Table 1 bin characterization
+//	-fig5                        print the Figure 5 impact indicators
+//	-table4                      print the Table 4 per-CPU clear symbols
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/affinity"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "none", "affinity mode: none|proc|irq|full")
+	dirFlag := flag.String("dir", "tx", "direction: tx|rx")
+	size := flag.Int("size", 65536, "transaction size in bytes")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warmup := flag.Uint64("warmup", 60_000_000, "warmup cycles")
+	measure := flag.Uint64("measure", 240_000_000, "measured cycles")
+	table1 := flag.Bool("table1", false, "print Table 1 bin characterization")
+	fig5 := flag.Bool("fig5", false, "print Figure 5 impact indicators")
+	table4 := flag.Bool("table4", false, "print Table 4 per-CPU machine-clear symbols")
+	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
+	perCPU := flag.Bool("percpu", false, "print per-CPU Table 1 characterizations")
+	flag.Parse()
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dir, err := parseDir(*dirFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fmt.Fprintln(os.Stderr, "affinity-sim: size must be positive")
+		os.Exit(2)
+	}
+
+	cfg := affinity.DefaultConfig(mode, dir, *size)
+	cfg.Seed = *seed
+	cfg.WarmupCycles = *warmup
+	cfg.MeasureCycles = *measure
+
+	r := affinity.Run(cfg)
+	if *jsonOut {
+		js, err := r.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(js)
+	} else {
+		fmt.Println(r)
+	}
+
+	if *table1 {
+		fmt.Println()
+		fmt.Print(affinity.BaselineTable(r).Format())
+	}
+	if *fig5 {
+		fmt.Println()
+		for _, s := range affinity.Indicators(r) {
+			fmt.Printf("%-14s %12d %7.1f%%\n", s.Event, s.Count, 100*s.Share)
+		}
+	}
+	if *table4 {
+		fmt.Println()
+		fmt.Print(affinity.FormatTopSymbols(affinity.TopClearSymbols(r, 10)))
+	}
+	if *perCPU {
+		for cpu, tab := range affinity.PerCPUBinTables(r) {
+			fmt.Printf("\n--- CPU %d ---\n", cpu)
+			fmt.Print(tab.Format())
+		}
+	}
+}
+
+func parseMode(s string) (affinity.Mode, error) {
+	switch strings.ToLower(s) {
+	case "none", "no", "noaff":
+		return affinity.ModeNone, nil
+	case "proc", "process":
+		return affinity.ModeProc, nil
+	case "irq", "int", "interrupt":
+		return affinity.ModeIRQ, nil
+	case "full":
+		return affinity.ModeFull, nil
+	}
+	return 0, fmt.Errorf("affinity-sim: unknown mode %q (none|proc|irq|full)", s)
+}
+
+func parseDir(s string) (affinity.Direction, error) {
+	switch strings.ToLower(s) {
+	case "tx", "send", "transmit":
+		return affinity.TX, nil
+	case "rx", "recv", "receive":
+		return affinity.RX, nil
+	}
+	return 0, fmt.Errorf("affinity-sim: unknown direction %q (tx|rx)", s)
+}

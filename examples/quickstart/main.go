@@ -1,0 +1,37 @@
+// Quickstart: reproduce the paper's headline result in a dozen lines.
+//
+// Runs the ttcp bulk-transmit workload at 64 KB under all four affinity
+// modes and prints throughput, utilization and processing cost — the
+// paper's Figure 3/4 data points — then the §6.3 comparative analysis
+// between no affinity and full affinity.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/affinity"
+)
+
+func main() {
+	fmt.Println("Processor affinity in network processing — quickstart")
+	fmt.Println("Workload: 8 ttcp processes transmitting 64 KB buffers over 8 GbE NICs")
+	fmt.Println()
+
+	results := map[affinity.Mode]*affinity.Result{}
+	for _, mode := range affinity.Modes() {
+		r := affinity.Run(affinity.DefaultConfig(mode, affinity.TX, 65536))
+		results[mode] = r
+		fmt.Println(r)
+	}
+
+	base := results[affinity.ModeNone]
+	full := results[affinity.ModeFull]
+	gain := full.Mbps/base.Mbps - 1
+	fmt.Printf("\nFull affinity gains %.1f%% throughput and cuts cost from %.2f to %.2f GHz/Gbps.\n\n",
+		100*gain, base.CostGHzPerGbps, full.CostGHzPerGbps)
+
+	fmt.Println("Where did the cycles go? (paper Table 3)")
+	fmt.Print(affinity.Compare(base, full).Format())
+}

@@ -1,0 +1,45 @@
+// Scheduler-study: sweep every affinity mode across the paper's
+// transaction sizes in both directions and emit the results as CSV —
+// the raw data behind Figures 3 and 4, ready for external plotting.
+//
+// The sweep also demonstrates the §7-discussed alternative: the Linux
+// 2.6-style rotating interrupt distribution, reported as a fifth
+// "mode" column for comparison.
+//
+//	go run ./examples/scheduler-study > sweep.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/affinity"
+)
+
+func main() {
+	sizes := affinity.Sizes()
+	fmt.Println("dir,size,mode,mbps,util,cost_ghz_per_gbps")
+
+	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
+		for _, size := range sizes {
+			for _, mode := range affinity.Modes() {
+				emit(dir, size, mode.String(), affinity.DefaultConfig(mode, dir, size))
+			}
+			// The 2.6-style rotating IRQ policy (paper §7): random-ish
+			// redistribution fixes the CPU0 bottleneck but keeps cache
+			// inefficiencies, and pays for TPR updates.
+			cfg := affinity.DefaultConfig(affinity.ModeNone, dir, size)
+			cfg.RotateIRQs = true
+			emit(dir, size, "Rotate IRQ", cfg)
+		}
+		fmt.Fprintf(os.Stderr, "%s sweep done\n", dir)
+	}
+}
+
+func emit(dir affinity.Direction, size int, label string, cfg affinity.Config) {
+	// A shorter window keeps the 70-cell sweep quick; bump for precision.
+	cfg.WarmupCycles = 30_000_000
+	cfg.MeasureCycles = 100_000_000
+	r := affinity.Run(cfg)
+	fmt.Printf("%s,%d,%s,%.2f,%.4f,%.4f\n", dir, size, label, r.Mbps, r.AvgUtil, r.CostGHzPerGbps)
+}

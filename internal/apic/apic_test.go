@@ -1,0 +1,121 @@
+package apic
+
+import "testing"
+
+type fakeTarget struct {
+	got []struct {
+		vec  Vector
+		kind Kind
+	}
+}
+
+func (f *fakeTarget) DeliverInterrupt(vec Vector, kind Kind) {
+	f.got = append(f.got, struct {
+		vec  Vector
+		kind Kind
+	}{vec, kind})
+}
+
+func newAPIC(n int) (*IOAPIC, []*fakeTarget) {
+	fakes := make([]*fakeTarget, n)
+	targets := make([]Target, n)
+	for i := range fakes {
+		fakes[i] = &fakeTarget{}
+		targets[i] = fakes[i]
+	}
+	return NewIOAPIC(targets), fakes
+}
+
+func TestDefaultMaskDeliversToCPU0(t *testing.T) {
+	a, fakes := newAPIC(2)
+	for i := 0; i < 5; i++ {
+		if cpu := a.Raise(0x19); cpu != 0 {
+			t.Fatalf("default delivery to cpu %d, want 0", cpu)
+		}
+	}
+	if len(fakes[0].got) != 5 || len(fakes[1].got) != 0 {
+		t.Fatalf("deliveries %d/%d, want 5/0", len(fakes[0].got), len(fakes[1].got))
+	}
+	if fakes[0].got[0].kind != KindDevice {
+		t.Fatal("wrong kind")
+	}
+	if a.Delivered() != 5 {
+		t.Fatalf("Delivered = %d", a.Delivered())
+	}
+}
+
+func TestSetAffinityRoutesToMaskedCPU(t *testing.T) {
+	a, fakes := newAPIC(2)
+	if err := a.SetAffinity(0x1a, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	if cpu := a.Raise(0x1a); cpu != 1 {
+		t.Fatalf("delivery to cpu %d, want 1", cpu)
+	}
+	if len(fakes[1].got) != 1 {
+		t.Fatal("cpu1 did not receive")
+	}
+	if got := a.Affinity(0x1a); got != 2 {
+		t.Fatalf("Affinity = %#x, want 0x2", got)
+	}
+}
+
+func TestSetAffinityRejectsEmptyMask(t *testing.T) {
+	a, _ := newAPIC(2)
+	if err := a.SetAffinity(0x19, 0); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	// Mask beyond the CPU count is truncated; if nothing remains, reject.
+	if err := a.SetAffinity(0x19, 0xc); err == nil {
+		t.Fatal("mask with no valid CPUs accepted")
+	}
+}
+
+func TestRotatePolicySwitchesWithinMask(t *testing.T) {
+	a, fakes := newAPIC(2)
+	a.SetPolicy(PolicyRotate)
+	a.RotatePeriod = 3
+	for i := 0; i < 12; i++ {
+		a.Raise(0x20)
+	}
+	if len(fakes[0].got) != 6 || len(fakes[1].got) != 6 {
+		t.Fatalf("rotate split %d/%d, want 6/6", len(fakes[0].got), len(fakes[1].got))
+	}
+	if a.TPRWrites != 4 {
+		t.Fatalf("TPR writes = %d, want 4", a.TPRWrites)
+	}
+}
+
+func TestRotateRespectsSingleCPUMask(t *testing.T) {
+	a, fakes := newAPIC(2)
+	a.SetPolicy(PolicyRotate)
+	a.RotatePeriod = 2
+	a.SetAffinity(0x21, 1<<1)
+	for i := 0; i < 8; i++ {
+		a.Raise(0x21)
+	}
+	if len(fakes[0].got) != 0 || len(fakes[1].got) != 8 {
+		t.Fatalf("masked rotate split %d/%d, want 0/8", len(fakes[0].got), len(fakes[1].got))
+	}
+}
+
+func TestSendIPIAndTimer(t *testing.T) {
+	a, fakes := newAPIC(2)
+	a.SendIPI(1, 0xfd)
+	a.TimerTick(0, 0xef)
+	if len(fakes[1].got) != 1 || fakes[1].got[0].kind != KindIPI {
+		t.Fatal("IPI not delivered")
+	}
+	if len(fakes[0].got) != 1 || fakes[0].got[0].kind != KindTimer {
+		t.Fatal("timer not delivered")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDevice.String() != "device" || KindIPI.String() != "ipi" || KindTimer.String() != "timer" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatal("out-of-range kind name wrong")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/prof"
+	"repro/internal/stats"
+)
+
+// BinImprovement is one row of the paper's Table 3: a bin's baseline
+// profile plus the Amdahl-decomposed improvement in cycles, LLC misses
+// and machine clears when going from the baseline mode to the improved
+// mode, all normalized per byte of work (the paper's "per work done").
+type BinImprovement struct {
+	Bin perf.Bin
+	// Baseline characteristics (no-affinity column of Table 3).
+	PctTime float64
+	CPI     float64
+	MPI     float64
+	// Improvements: share of the baseline total recovered by this bin.
+	CyclesImp float64
+	LLCImp    float64
+	ClearsImp float64
+}
+
+// Comparison relates two runs of the same workload under different
+// affinity modes (§6.3).
+type Comparison struct {
+	Base, New *Result
+	Bins      []BinImprovement
+	// Overall improvements per work done.
+	OverallCycles float64
+	OverallLLC    float64
+	OverallClears float64
+	// Spearman rank correlations between the bins' cycle improvements
+	// and their LLC / machine-clear improvements (Table 5), with the
+	// paper's one-tailed p=0.05 critical value.
+	CorrLLC      float64
+	CorrClears   float64
+	CorrCritical float64
+}
+
+// Compare computes the paper's comparative characterization between a
+// baseline run (no affinity) and an improved run (full affinity) of the
+// same workload. Events are normalized per byte moved before applying
+// the Amdahl decomposition, exactly as §6.3's formula does with its
+// "per work done" counts.
+func Compare(base, improved *Result) *Comparison {
+	cmp := &Comparison{Base: base, New: improved}
+
+	baseT := prof.NewBinTable(base.Ctr)
+	perByte := func(r *Result, n uint64) float64 {
+		if r.Bytes == 0 {
+			return 0
+		}
+		return float64(n) / float64(r.Bytes)
+	}
+
+	totalCycles := perByte(base, baseT.Overall.Cycles)
+	totalLLC := perByte(base, baseT.Overall.Misses)
+	totalClears := perByte(base, baseT.Overall.Clears)
+
+	var cycImps, llcImps, clrImps []float64
+	for _, bin := range perf.StackBins() {
+		bc := perByte(base, base.Ctr.BinTotal(bin, perf.Cycles))
+		nc := perByte(improved, improved.Ctr.BinTotal(bin, perf.Cycles))
+		bl := perByte(base, base.Ctr.BinTotal(bin, perf.LLCMisses))
+		nl := perByte(improved, improved.Ctr.BinTotal(bin, perf.LLCMisses))
+		bm := perByte(base, base.Ctr.BinTotal(bin, perf.MachineClears))
+		nm := perByte(improved, improved.Ctr.BinTotal(bin, perf.MachineClears))
+
+		row := BinImprovement{
+			Bin:       bin,
+			CyclesImp: stats.Speedup(bc, nc, totalCycles),
+			LLCImp:    stats.Speedup(bl, nl, totalLLC),
+			ClearsImp: stats.Speedup(bm, nm, totalClears),
+		}
+		for _, r := range baseT.Rows {
+			if r.Bin == bin {
+				row.PctTime = r.PctCycles
+				row.CPI = r.CPI
+				row.MPI = r.MPI
+			}
+		}
+		cmp.Bins = append(cmp.Bins, row)
+		cmp.OverallCycles += row.CyclesImp
+		cmp.OverallLLC += row.LLCImp
+		cmp.OverallClears += row.ClearsImp
+		cycImps = append(cycImps, row.CyclesImp)
+		llcImps = append(llcImps, row.LLCImp)
+		clrImps = append(clrImps, row.ClearsImp)
+	}
+
+	if r, err := stats.Spearman(cycImps, llcImps); err == nil {
+		cmp.CorrLLC = r
+	}
+	if r, err := stats.Spearman(cycImps, clrImps); err == nil {
+		cmp.CorrClears = r
+	}
+	cmp.CorrCritical = stats.SpearmanCriticalP05OneTail(len(cycImps))
+	return cmp
+}
+
+// Format renders the comparison in the paper's Table 3 layout.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %dB: %s baseline -> %s   (improvements per work done)\n",
+		c.Base.Cfg.Dir, "size", c.Base.Cfg.Size, c.Base.Cfg.Mode, c.New.Cfg.Mode)
+	fmt.Fprintf(&b, "%-10s %7s %6s %9s | %8s %8s %8s\n",
+		"Bin", "%Time", "CPI", "MPIx1e-3", "Cycles", "LLC", "Clears")
+	for _, r := range c.Bins {
+		fmt.Fprintf(&b, "%-10s %6.1f%% %6.1f %9.2f | %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Bin, 100*r.PctTime, r.CPI, 1000*r.MPI,
+			100*r.CyclesImp, 100*r.LLCImp, 100*r.ClearsImp)
+	}
+	fmt.Fprintf(&b, "%-10s %25s | %7.1f%% %7.1f%% %7.1f%%\n",
+		"Overall", "", 100*c.OverallCycles, 100*c.OverallLLC, 100*c.OverallClears)
+	fmt.Fprintf(&b, "Spearman rank correlation: LLC %.2f, Clears %.2f (critical %.3f @ p=0.05, 1-tail)\n",
+		c.CorrLLC, c.CorrClears, c.CorrCritical)
+	return b.String()
+}
+
+// LockBehaviour captures the paper's Table 2 observation: under full
+// affinity the Locks bin retires a small fraction of the branches and
+// instructions it retires under contention, so the mispredict *ratio*
+// inflates even though absolute mispredicts do not grow.
+type LockBehaviour struct {
+	Instr, Branches, Mispredicts uint64
+	SpinCycles                   uint64
+	MispredictRatio              float64
+}
+
+// LockStats extracts the Locks-bin behaviour of a run.
+func LockStats(r *Result) LockBehaviour {
+	c := r.Ctr
+	lb := LockBehaviour{
+		Instr:       c.BinTotal(perf.BinLocks, perf.Instructions),
+		Branches:    c.BinTotal(perf.BinLocks, perf.Branches),
+		Mispredicts: c.BinTotal(perf.BinLocks, perf.BranchMispredicts),
+		SpinCycles:  c.BinTotal(perf.BinLocks, perf.SpinCycles),
+	}
+	if lb.Branches > 0 {
+		lb.MispredictRatio = float64(lb.Mispredicts) / float64(lb.Branches)
+	}
+	return lb
+}
+
+// BaselineTable builds the paper's Table 1 for a run.
+func BaselineTable(r *Result) prof.BinTable {
+	return prof.NewBinTable(r.Ctr)
+}
+
+// Indicators builds the paper's Figure 5 column for a run.
+func Indicators(r *Result) []prof.EventShare {
+	return prof.ImpactIndicators(r.Ctr)
+}
+
+// TopClearSymbols builds the paper's Table 4: per-CPU symbols with the
+// highest machine-clear counts, restricted to the TCP engine and the
+// interrupt handlers (driver bin carries the IRQ0xNN symbols).
+func TopClearSymbols(r *Result, n int) [][]prof.SymbolCount {
+	return prof.TopSymbols(r.Ctr, perf.MachineClears,
+		[]perf.Bin{perf.BinEngine, perf.BinDriver}, n)
+}

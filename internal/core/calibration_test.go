@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ttcp"
+)
+
+// Calibration regression: the simulator's headline operating points are
+// pinned (with tolerance) to the values recorded in EXPERIMENTS.md. The
+// simulation is deterministic, so drift here means a model change moved
+// the calibration — re-run `cmd/affinity-figures -all`, re-validate
+// against the paper, and update EXPERIMENTS.md alongside these numbers.
+func TestCalibrationPinnedOperatingPoints(t *testing.T) {
+	type point struct {
+		mode Mode
+		dir  ttcp.Direction
+		size int
+		cost float64 // GHz/Gbps at default windows
+	}
+	points := []point{
+		{ModeNone, ttcp.TX, 65536, 1.58},
+		{ModeFull, ttcp.TX, 65536, 1.31},
+		{ModeNone, ttcp.TX, 128, 4.56},
+		{ModeFull, ttcp.TX, 128, 4.20},
+		{ModeNone, ttcp.RX, 65536, 2.03},
+		{ModeFull, ttcp.RX, 65536, 1.70},
+		{ModeNone, ttcp.RX, 128, 4.84},
+		{ModeFull, ttcp.RX, 128, 4.47},
+	}
+	const tol = 0.08
+	for _, p := range points {
+		r := Run(DefaultConfig(p.mode, p.dir, p.size))
+		lo, hi := p.cost*(1-tol), p.cost*(1+tol)
+		if r.CostGHzPerGbps < lo || r.CostGHzPerGbps > hi {
+			t.Errorf("%s %s %dB: cost %.3f outside pinned %.2f±%.0f%%",
+				p.mode, p.dir, p.size, r.CostGHzPerGbps, p.cost, tol*100)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// DumpState renders a point-in-time diagnostic snapshot of the machine:
+// per-CPU scheduler state, per-connection protocol state, NIC statistics
+// and pool occupancy. It is the simulator's /proc: meant for debugging
+// experiments and workloads built on the library, not for measurement.
+func (m *Machine) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine @ %d cycles (%s %s %dB, %s)\n",
+		uint64(m.Eng.Now()), m.Cfg.Dir, "size", m.Cfg.Size, m.Cfg.Mode)
+
+	for _, c := range m.K.CPUs {
+		state := "busy"
+		if c.IsIdle() {
+			state = "idle"
+		}
+		fmt.Fprintf(&b, "  cpu%d: %-4s rq=%d idle=%dM cycles current=%s\n",
+			c.ID(), state, c.QueueLen(), c.IdleCycles()/1_000_000,
+			m.Tab.Name(c.CurrentSymbol()))
+	}
+
+	for i, s := range m.Sockets {
+		fmt.Fprintf(&b, "  conn%d [%s]: inflight=%-6d rcvq=%-6d segs in/out=%d/%d acks in/out=%d/%d backlogged=%d\n",
+			i, s.State(), s.InFlight(), s.RcvQueued(),
+			s.SegsIn, s.SegsOut, s.AcksIn, s.AcksOut, s.BacklogDeferrals)
+	}
+
+	for _, n := range m.NICs {
+		fmt.Fprintf(&b, "  nic%d (vec %#x): tx %d frames/%d MB, rx %d frames/%d MB, irqs=%d drops=%d\n",
+			n.ID(), int(n.Vector()), n.TxFrames, n.TxBytes>>20,
+			n.RxFrames, n.RxBytes>>20, n.IRQsRaised, n.RxDropped)
+	}
+
+	p := m.St.Pool
+	fmt.Fprintf(&b, "  pool: %d skbs free, %d clones free (allocs %d/%d, refills %d, drains %d)\n",
+		p.FreeSKBCount(), p.FreeCloneCount(), p.SKBAllocs, p.CloneAllocs, p.Refills, p.Drains)
+
+	st := m.K.Stats
+	fmt.Fprintf(&b, "  sched: wakes same=%d xIdle=%d xBusy=%d xQuiet=%d migrations=%d steals=%d\n",
+		st.WakeSameCPU, st.WakeCrossIdle, st.WakeCrossBusy, st.WakeCrossQuiet,
+		st.Migrations, st.Steals)
+	fmt.Fprintf(&b, "  events: irqs=%d ipis=%d clears=%d llc=%d\n",
+		m.Ctr.Total(perf.IRQsReceived), m.Ctr.Total(perf.IPIsReceived),
+		m.Ctr.Total(perf.MachineClears), m.Ctr.Total(perf.LLCMisses))
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// ResultExport is the serializable view of a Result: headline metrics
+// plus the per-bin characterization, suitable for JSON or CSV pipelines.
+type ResultExport struct {
+	Mode string  `json:"mode"`
+	Dir  string  `json:"dir"`
+	Size int     `json:"size"`
+	Seed uint64  `json:"seed"`
+	Mbps float64 `json:"mbps"`
+	Util float64 `json:"util"`
+	Cost float64 `json:"cost_ghz_per_gbps"`
+
+	Transactions uint64 `json:"transactions"`
+	Bytes        uint64 `json:"bytes"`
+	Drops        uint64 `json:"drops"`
+
+	OverallCPI float64 `json:"overall_cpi"`
+	OverallMPI float64 `json:"overall_mpi"`
+
+	Clears     uint64 `json:"machine_clears"`
+	LLCMisses  uint64 `json:"llc_misses"`
+	IPIs       uint64 `json:"ipis"`
+	IRQs       uint64 `json:"irqs"`
+	SpinCycles uint64 `json:"spin_cycles"`
+
+	Bins map[string]BinExport `json:"bins"`
+}
+
+// BinExport is one functional bin's exported profile.
+type BinExport struct {
+	PctCycles float64 `json:"pct_cycles"`
+	CPI       float64 `json:"cpi"`
+	MPI       float64 `json:"mpi"`
+}
+
+// Export builds the serializable view.
+func (r *Result) Export() ResultExport {
+	tab := BaselineTable(r)
+	out := ResultExport{
+		Mode:         r.Cfg.Mode.String(),
+		Dir:          r.Cfg.Dir.String(),
+		Size:         r.Cfg.Size,
+		Seed:         r.Cfg.Seed,
+		Mbps:         r.Mbps,
+		Util:         r.AvgUtil,
+		Cost:         r.CostGHzPerGbps,
+		Transactions: r.Transactions,
+		Bytes:        r.Bytes,
+		Drops:        r.Drops,
+		OverallCPI:   tab.Overall.CPI,
+		OverallMPI:   tab.Overall.MPI,
+		Clears:       r.Ctr.Total(perf.MachineClears),
+		LLCMisses:    r.Ctr.Total(perf.LLCMisses),
+		IPIs:         r.Ctr.Total(perf.IPIsReceived),
+		IRQs:         r.Ctr.Total(perf.IRQsReceived),
+		SpinCycles:   r.Ctr.Total(perf.SpinCycles),
+		Bins:         make(map[string]BinExport, len(tab.Rows)),
+	}
+	for _, row := range tab.Rows {
+		out.Bins[row.Bin.String()] = BinExport{
+			PctCycles: row.PctCycles,
+			CPI:       row.CPI,
+			MPI:       row.MPI,
+		}
+	}
+	return out
+}
+
+// JSON renders the export as indented JSON.
+func (r *Result) JSON() (string, error) {
+	b, err := json.MarshalIndent(r.Export(), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("core: encoding result: %w", err)
+	}
+	return string(b), nil
+}
+
+// CSVHeader is the column list matching Result.CSVRow.
+func CSVHeader() string {
+	return "mode,dir,size,seed,mbps,util,cost_ghz_per_gbps,transactions,bytes,drops,overall_cpi,overall_mpi,machine_clears,llc_misses,ipis,irqs,spin_cycles"
+}
+
+// CSVRow renders the headline metrics as one CSV line.
+func (r *Result) CSVRow() string {
+	e := r.Export()
+	return strings.Join([]string{
+		e.Mode, e.Dir,
+		fmt.Sprintf("%d", e.Size),
+		fmt.Sprintf("%d", e.Seed),
+		fmt.Sprintf("%.2f", e.Mbps),
+		fmt.Sprintf("%.4f", e.Util),
+		fmt.Sprintf("%.4f", e.Cost),
+		fmt.Sprintf("%d", e.Transactions),
+		fmt.Sprintf("%d", e.Bytes),
+		fmt.Sprintf("%d", e.Drops),
+		fmt.Sprintf("%.3f", e.OverallCPI),
+		fmt.Sprintf("%.5f", e.OverallMPI),
+		fmt.Sprintf("%d", e.Clears),
+		fmt.Sprintf("%d", e.LLCMisses),
+		fmt.Sprintf("%d", e.IPIs),
+		fmt.Sprintf("%d", e.IRQs),
+		fmt.Sprintf("%d", e.SpinCycles),
+	}, ",")
+}

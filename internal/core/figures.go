@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/ttcp"
+)
+
+// SweepPoint is one (mode, size) cell of the paper's Figure 3 / Figure 4
+// sweep for one direction.
+type SweepPoint struct {
+	Mode Mode
+	Size int
+	// Mbps is goodput; Util the mean CPU utilization; Cost the paper's
+	// GHz/Gbps metric.
+	Mbps float64
+	Util float64
+	Cost float64
+}
+
+// Sweep holds a full direction sweep: modes × sizes.
+type Sweep struct {
+	Dir    ttcp.Direction
+	Points []SweepPoint
+}
+
+// RunSweep measures every affinity mode at every transaction size for one
+// direction — the data behind Figures 3 and 4. The base config supplies
+// everything except mode and size.
+func RunSweep(base Config, dir ttcp.Direction, sizes []int, modes []Mode) Sweep {
+	sw := Sweep{Dir: dir}
+	for _, size := range sizes {
+		for _, mode := range modes {
+			cfg := base
+			cfg.Mode = mode
+			cfg.Dir = dir
+			cfg.Size = size
+			r := Run(cfg)
+			sw.Points = append(sw.Points, SweepPoint{
+				Mode: mode,
+				Size: size,
+				Mbps: r.Mbps,
+				Util: r.AvgUtil,
+				Cost: r.CostGHzPerGbps,
+			})
+		}
+	}
+	return sw
+}
+
+// Point finds a sweep cell.
+func (s Sweep) Point(mode Mode, size int) (SweepPoint, bool) {
+	for _, p := range s.Points {
+		if p.Mode == mode && p.Size == size {
+			return p, true
+		}
+	}
+	return SweepPoint{}, false
+}
+
+func (s Sweep) sizes() []int {
+	set := map[int]bool{}
+	for _, p := range s.Points {
+		set[p.Size] = true
+	}
+	var out []int
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s Sweep) modes() []Mode {
+	set := map[Mode]bool{}
+	for _, p := range s.Points {
+		set[p.Mode] = true
+	}
+	var out []Mode
+	for _, m := range Modes() {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FormatFig3 renders the sweep as the paper's Figure 3: bandwidth and CPU
+// utilization per transaction size for each affinity mode.
+func (s Sweep) FormatFig3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s Bandwidth (Mb/s) and CPU Utilization\n", s.Dir)
+	fmt.Fprintf(&b, "%8s", "size")
+	modes := s.modes()
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %9s %6s", m.String()+" BW", "CPU")
+	}
+	b.WriteByte('\n')
+	for _, size := range s.sizes() {
+		fmt.Fprintf(&b, "%8d", size)
+		for _, m := range modes {
+			p, _ := s.Point(m, size)
+			fmt.Fprintf(&b, " %9.1f %5.0f%%", p.Mbps, 100*p.Util)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFig4 renders the sweep as the paper's Figure 4: processing cost
+// in GHz/Gbps per transaction size for each affinity mode.
+func (s Sweep) FormatFig4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s Cost in GHz/Gbps\n", s.Dir)
+	fmt.Fprintf(&b, "%8s", "size")
+	modes := s.modes()
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %9s", m)
+	}
+	b.WriteByte('\n')
+	for _, size := range s.sizes() {
+		fmt.Fprintf(&b, "%8d", size)
+		for _, m := range modes {
+			p, _ := s.Point(m, size)
+			fmt.Fprintf(&b, " %9.2f", p.Cost)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ExtremePoints are the four operating points §6 analyzes in depth.
+func ExtremePoints() []struct {
+	Dir  ttcp.Direction
+	Size int
+} {
+	return []struct {
+		Dir  ttcp.Direction
+		Size int
+	}{
+		{ttcp.TX, 65536},
+		{ttcp.TX, 128},
+		{ttcp.RX, 65536},
+		{ttcp.RX, 128},
+	}
+}
+
+// FormatFig5Pair renders Figure 5 for a no-affinity / full-affinity pair.
+func FormatFig5Pair(base, full *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %dB — %% of run time attributed per event (cost×count/cycles)\n",
+		base.Cfg.Dir, base.Cfg.Size)
+	bi := Indicators(base)
+	fi := Indicators(full)
+	fmt.Fprintf(&b, "%-14s %6s %9s %9s\n", "Event", "Cost", "No Aff", "Full Aff")
+	for i := range bi {
+		name := bi[i].Event.String()
+		cost := fmt.Sprintf("%d", bi[i].Cost)
+		if bi[i].Event == perf.Instructions {
+			name, cost = "Instr", "0.33"
+		}
+		fmt.Fprintf(&b, "%-14s %6s %8.1f%% %8.1f%%\n", name, cost, 100*bi[i].Share, 100*fi[i].Share)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated rows (size, mode, mbps, util,
+// cost) for external plotting.
+func (s Sweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("dir,size,mode,mbps,util,cost_ghz_per_gbps\n")
+	for _, size := range s.sizes() {
+		for _, m := range s.modes() {
+			p, _ := s.Point(m, size)
+			fmt.Fprintf(&b, "%s,%d,%s,%.2f,%.4f,%.4f\n", s.Dir, size, m, p.Mbps, p.Util, p.Cost)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,257 @@
+// Package core assembles the paper's experiment: the 2-processor SUT
+// with eight gigabit NICs, eight connections and eight ttcp processes,
+// run under one of the four affinity modes, measured over a steady-state
+// window, and analyzed into the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+	"repro/internal/cpu"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/netdev"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/ttcp"
+)
+
+// Mode is one of the paper's four affinity modes (§4).
+type Mode int
+
+const (
+	// ModeNone: interrupts default to CPU0, OS-based scheduling.
+	ModeNone Mode = iota
+	// ModeProc: processes pinned 4/4 across CPUs, interrupts on CPU0.
+	ModeProc
+	// ModeIRQ: interrupts pinned 4/4 across CPUs, processes free.
+	ModeIRQ
+	// ModeFull: each process pinned to the CPU serving its NIC's
+	// interrupts.
+	ModeFull
+	// ModePartition is the §7 related-work approach (AsyMOS [17],
+	// ETA [19]): interrupt and softirq processing confined to CPU0,
+	// application processes confined to the remaining processors —
+	// a hard partition rather than per-flow alignment. Not one of the
+	// paper's four measured modes; provided as an extension.
+	ModePartition
+
+	// NumModes counts the affinity modes.
+	NumModes
+)
+
+var modeNames = [NumModes]string{"No Aff", "Proc Aff", "IRQ Aff", "Full Aff", "Partition"}
+
+// String names the mode as the paper's figures do.
+func (m Mode) String() string {
+	if m < 0 || m >= NumModes {
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// Modes lists the paper's four modes in its order. ModePartition is an
+// extension and is not included; see AllModes.
+func Modes() []Mode { return []Mode{ModeNone, ModeProc, ModeIRQ, ModeFull} }
+
+// AllModes lists every supported mode, including the partition extension.
+func AllModes() []Mode {
+	return []Mode{ModeNone, ModeProc, ModeIRQ, ModeFull, ModePartition}
+}
+
+// Vectors are the eight NIC interrupt lines, numbered as in the paper's
+// Table 4.
+var Vectors = []apic.Vector{0x19, 0x1a, 0x1b, 0x1d, 0x23, 0x24, 0x25, 0x27}
+
+// Sizes is the paper's transaction-size sweep (Figures 3 and 4).
+var Sizes = []int{128, 256, 1024, 4096, 8192, 16384, 65536}
+
+// Config describes one experimental run.
+type Config struct {
+	Mode Mode
+	Dir  ttcp.Direction
+	// Size is the ttcp transaction size in bytes.
+	Size int
+	// NumCPUs and NumNICs shape the machine; the paper's SUT is 2 CPUs
+	// and 8 NICs (one connection and one process per NIC).
+	NumCPUs, NumNICs int
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// WarmupCycles run before measurement (cache/TLB warmup, window
+	// ramp); MeasureCycles is the measured steady-state interval.
+	WarmupCycles, MeasureCycles uint64
+	// RotateIRQs applies the 2.6-style rotating delivery of §7 instead
+	// of static routing (only meaningful with the default mask).
+	RotateIRQs bool
+	// SkipWorkload builds the machine (NICs, connections, affinity) but
+	// launches no ttcp processes and no client sources, so callers can
+	// attach their own workload (see examples/webserver).
+	SkipWorkload bool
+	// ThinkCycles inserts virtual think time between ttcp transactions
+	// (0 = the paper's back-to-back bulk workload).
+	ThinkCycles uint64
+	// RecordLatency keeps per-transaction durations on each ttcp process
+	// (Machine.Procs[i].Latency()).
+	RecordLatency bool
+
+	CPU  cpu.Config
+	Tune kern.Tuning
+	TCP  tcp.Config
+}
+
+// DefaultConfig returns the paper's machine at one operating point.
+func DefaultConfig(mode Mode, dir ttcp.Direction, size int) Config {
+	return Config{
+		Mode:          mode,
+		Dir:           dir,
+		Size:          size,
+		NumCPUs:       2,
+		NumNICs:       8,
+		Seed:          1,
+		WarmupCycles:  60_000_000,  // 30 ms
+		MeasureCycles: 240_000_000, // 120 ms (many scheduler quanta)
+		CPU:           cpu.DefaultConfig(),
+		Tune:          kern.DefaultTuning(),
+		TCP:           tcp.DefaultConfig(),
+	}
+}
+
+// Machine is an assembled SUT plus its clients and workload.
+type Machine struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Tab     *perf.SymbolTable
+	Ctr     *perf.Counters
+	K       *kern.Kernel
+	St      *tcp.Stack
+	NICs    []*netdev.NIC
+	Sockets []*tcp.Socket
+	Clients []*tcp.Client
+	Procs   []*ttcp.Proc
+}
+
+// NewMachine builds the SUT: kernel, stack, NICs, connections and ttcp
+// processes, with the affinity mode applied.
+func NewMachine(cfg Config) *Machine {
+	if cfg.NumCPUs <= 0 || cfg.NumNICs <= 0 {
+		panic(fmt.Sprintf("core: bad machine shape %d CPUs %d NICs", cfg.NumCPUs, cfg.NumNICs))
+	}
+	if cfg.NumNICs > len(Vectors) {
+		panic("core: more NICs than defined vectors")
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	tab := perf.NewSymbolTable()
+	ctr := perf.NewCounters(tab, cfg.NumCPUs)
+	k := kern.New(kern.Config{
+		Engine:  eng,
+		Space:   mem.NewSpace(),
+		Table:   tab,
+		Ctr:     ctr,
+		NumCPUs: cfg.NumCPUs,
+		CPU:     cfg.CPU,
+		Tune:    cfg.Tune,
+	})
+	st := tcp.New(k, cfg.TCP)
+	m := &Machine{Cfg: cfg, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st}
+
+	perCPU := (cfg.NumNICs + cfg.NumCPUs - 1) / cfg.NumCPUs
+	for i := 0; i < cfg.NumNICs; i++ {
+		nic := st.AddNIC(Vectors[i])
+		m.NICs = append(m.NICs, nic)
+		s, c := st.NewConn(i, nic)
+		m.Sockets = append(m.Sockets, s)
+		m.Clients = append(m.Clients, c)
+
+		// Interrupt affinity: NICs 0..3 -> CPU0, 4..7 -> CPU1 (paper
+		// Figure 2). Without it the default mask delivers to CPU0.
+		if cfg.Mode == ModeIRQ || cfg.Mode == ModeFull {
+			cpuFor := i / perCPU
+			if err := k.APIC.SetAffinity(Vectors[i], 1<<uint(cpuFor)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if cfg.RotateIRQs {
+		k.APIC.SetPolicy(apic.PolicyRotate)
+	}
+
+	if !cfg.SkipWorkload {
+		for i := 0; i < cfg.NumNICs; i++ {
+			p := ttcp.Launch(st, m.Sockets[i], m.Clients[i], ttcp.Config{
+				Name:          fmt.Sprintf("ttcp%d", i),
+				Dir:           cfg.Dir,
+				Size:          cfg.Size,
+				StartCPU:      i % cfg.NumCPUs,
+				Affinity:      m.AffinityMaskFor(i),
+				ThinkCycles:   cfg.ThinkCycles,
+				RecordLatency: cfg.RecordLatency,
+			})
+			m.Procs = append(m.Procs, p)
+		}
+		if cfg.Dir == ttcp.RX {
+			for _, c := range m.Clients {
+				c := c
+				eng.At(0, func() { c.StartSource() })
+			}
+		}
+	}
+	k.StartTicks()
+	return m
+}
+
+// AffinityMaskFor returns the process affinity mask the machine's mode
+// implies for the process serving connection i (0 = unrestricted).
+// Custom workloads use it to honour the configured mode.
+func (m *Machine) AffinityMaskFor(i int) uint32 {
+	switch m.Cfg.Mode {
+	case ModeProc, ModeFull:
+		perCPU := (m.Cfg.NumNICs + m.Cfg.NumCPUs - 1) / m.Cfg.NumCPUs
+		return 1 << uint(i/perCPU)
+	case ModePartition:
+		// Applications keep off the interrupt processor.
+		all := uint32(1<<uint(m.Cfg.NumCPUs)) - 1
+		if mask := all &^ 1; mask != 0 {
+			return mask
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Shutdown reaps every coroutine; call when done with the machine.
+func (m *Machine) Shutdown() { m.K.Shutdown() }
+
+// appBytes reports application-level goodput so far: bytes the clients
+// received (TX) or bytes the SUT's readers consumed (RX).
+func (m *Machine) appBytes() uint64 {
+	var total uint64
+	if m.Cfg.Dir == ttcp.TX {
+		for _, c := range m.Clients {
+			total += c.BytesReceived
+		}
+	} else {
+		for _, s := range m.Sockets {
+			total += s.AppBytesIn
+		}
+	}
+	return total
+}
+
+func (m *Machine) transactions() uint64 {
+	var total uint64
+	for _, p := range m.Procs {
+		total += p.Transactions
+	}
+	return total
+}
+
+func (m *Machine) drops() uint64 {
+	var total uint64
+	for _, n := range m.NICs {
+		total += n.RxDropped
+	}
+	return total
+}

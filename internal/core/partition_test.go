@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/ttcp"
+)
+
+// The AsyMOS/ETA-style hard partition (§7 related work): all interrupt
+// and softirq processing on CPU0, all application processes elsewhere.
+func TestPartitionModeSeparatesWork(t *testing.T) {
+	r := Run(testConfig(ModePartition, ttcp.TX, 65536))
+	// Every device interrupt lands on CPU0.
+	for _, v := range Vectors {
+		sym := r.Ctr.Table().Lookup(handlerName(v))
+		if got := r.Ctr.Get(1, sym, perf.IRQsReceived); got != 0 {
+			t.Errorf("CPU1 took %d interrupts for %s under partition", got, handlerName(v))
+		}
+	}
+	// Application copies run only off CPU0.
+	copySym := r.Ctr.Table().Lookup("__copy_from_user_ll")
+	if got := r.Ctr.Get(0, copySym, perf.Instructions); got != 0 {
+		t.Errorf("CPU0 executed %d copy instructions under partition", got)
+	}
+	if got := r.Ctr.Get(1, copySym, perf.Instructions); got == 0 {
+		t.Error("CPU1 executed no copy instructions under partition")
+	}
+	if r.Mbps <= 0 {
+		t.Fatal("partition mode moved no data")
+	}
+}
+
+// Partitioning removes OS intrusion from application processing (the
+// related work's claim) but leaves every protocol<->application crossing
+// a cache-line transfer, so on 2P bulk streams it should not beat full
+// per-flow affinity.
+func TestPartitionDoesNotBeatFullAffinity(t *testing.T) {
+	part := Run(testConfig(ModePartition, ttcp.TX, 65536))
+	full := Run(testConfig(ModeFull, ttcp.TX, 65536))
+	if part.Mbps > full.Mbps*1.02 {
+		t.Errorf("partition %.0f Mb/s beats full affinity %.0f — unexpected for bulk streams",
+			part.Mbps, full.Mbps)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// Result is one measured steady-state window.
+type Result struct {
+	Cfg Config
+
+	// ElapsedCycles is the measured window length.
+	ElapsedCycles uint64
+	// Bytes is application-level goodput over the window.
+	Bytes uint64
+	// Transactions counts completed ttcp read/write calls.
+	Transactions uint64
+	// Mbps is goodput in megabits per second of virtual time.
+	Mbps float64
+	// Util is per-CPU utilization in [0,1]; AvgUtil the mean.
+	Util    []float64
+	AvgUtil float64
+	// CostGHzPerGbps is busy cycles per bit transferred — the paper's
+	// Figure 4 metric ("GHz/Gbps").
+	CostGHzPerGbps float64
+	// Drops counts receive-ring overflow drops (should be zero).
+	Drops uint64
+
+	// Ctr is the PMU counter delta over the window.
+	Ctr *perf.Counters
+	// IdleCycles is the per-CPU idle time inside the window.
+	IdleCycles []uint64
+}
+
+// Run builds a machine, warms it up, measures one window and shuts the
+// machine down. This is the primary entry point for experiments.
+func Run(cfg Config) *Result {
+	m := NewMachine(cfg)
+	defer m.Shutdown()
+	m.Eng.Run(sim.Time(cfg.WarmupCycles))
+	return m.Measure(cfg.MeasureCycles)
+}
+
+// Measure runs the machine for the given window and returns the delta
+// metrics. It may be called repeatedly for multiple windows.
+func (m *Machine) Measure(window uint64) *Result {
+	startCycles := uint64(m.Eng.Now())
+	startBytes := m.appBytes()
+	startTxns := m.transactions()
+	startDrops := m.drops()
+	snap := m.Ctr.Snapshot()
+	idle0 := make([]uint64, len(m.K.CPUs))
+	for i, c := range m.K.CPUs {
+		idle0[i] = c.IdleCycles()
+	}
+
+	m.Eng.Run(m.Eng.Now() + sim.Time(window))
+
+	elapsed := uint64(m.Eng.Now()) - startCycles
+	r := &Result{
+		Cfg:           m.Cfg,
+		ElapsedCycles: elapsed,
+		Bytes:         m.appBytes() - startBytes,
+		Transactions:  m.transactions() - startTxns,
+		Drops:         m.drops() - startDrops,
+		Ctr:           m.Ctr.Diff(snap),
+	}
+	var busyTotal uint64
+	for i, c := range m.K.CPUs {
+		idle := c.IdleCycles() - idle0[i]
+		r.IdleCycles = append(r.IdleCycles, idle)
+		if idle > elapsed {
+			idle = elapsed
+		}
+		busy := elapsed - idle
+		busyTotal += busy
+		u := float64(busy) / float64(elapsed)
+		r.Util = append(r.Util, u)
+		r.AvgUtil += u
+	}
+	r.AvgUtil /= float64(len(m.K.CPUs))
+
+	clock := float64(m.Cfg.CPU.ClockHz)
+	seconds := float64(elapsed) / clock
+	bits := float64(r.Bytes) * 8
+	if seconds > 0 {
+		r.Mbps = bits / seconds / 1e6
+	}
+	if bits > 0 {
+		r.CostGHzPerGbps = float64(busyTotal) / bits
+	}
+	return r
+}
+
+// String summarizes a result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s %6dB: %7.1f Mb/s  util=%s  cost=%.2f GHz/Gbps  txns=%d",
+		r.Cfg.Mode, r.Cfg.Dir, r.Cfg.Size, r.Mbps, utilString(r.Util), r.CostGHzPerGbps, r.Transactions)
+}
+
+func utilString(us []float64) string {
+	s := "["
+	for i, u := range us {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.0f%%", u*100)
+	}
+	return s + "]"
+}

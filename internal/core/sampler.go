@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// Sampler is a statistical time profiler modelled on how Oprofile
+// actually works (§4): a periodic per-CPU interrupt samples the program
+// counter — here, the symbol the processor is executing — and long runs
+// approximate the true time distribution. The simulator also keeps exact
+// counters, so the sampler's main job is validating the methodology:
+// tests check that sampling converges on the exact distribution, which
+// is the property the paper relies on when it says Oprofile "gives a
+// fairly accurate distribution of where events lie" over long runs.
+//
+// Samples are taken without perturbing the machine (the real profiler's
+// NMI overhead is below our model's resolution).
+type Sampler struct {
+	m        *Machine
+	period   uint64
+	busyOnly bool
+
+	// Samples[cpu][sym] counts hits.
+	Samples []map[perf.Symbol]uint64
+	Total   uint64
+	Idle    uint64
+
+	stopped bool
+}
+
+// NewSampler attaches a sampler to a machine with the given sampling
+// period in cycles (Oprofile-style: tens of microseconds). Sampling
+// starts immediately and runs until Stop.
+func (m *Machine) NewSampler(periodCycles uint64) *Sampler {
+	if periodCycles == 0 {
+		panic("core: sampler needs a period")
+	}
+	s := &Sampler{m: m, period: periodCycles}
+	for range m.K.CPUs {
+		s.Samples = append(s.Samples, make(map[perf.Symbol]uint64))
+	}
+	for i := range m.K.CPUs {
+		i := i
+		// Stagger per-CPU sampling so the CPUs are not sampled in phase.
+		first := periodCycles/uint64(len(m.K.CPUs)+1)*uint64(i+1) + 1
+		m.Eng.After(first, func() { s.tick(i) })
+	}
+	return s
+}
+
+func (s *Sampler) tick(cpu int) {
+	if s.stopped {
+		return
+	}
+	kc := s.m.K.CPUs[cpu]
+	s.Total++
+	if kc.IsIdle() {
+		s.Idle++
+	} else {
+		s.Samples[cpu][kc.CurrentSymbol()]++
+	}
+	s.m.Eng.After(s.m.Eng.RNG().Jitter(s.period, 0.05), func() { s.tick(cpu) })
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// BinShares aggregates the samples into the paper's bins, as a share of
+// busy samples.
+func (s *Sampler) BinShares() map[perf.Bin]float64 {
+	tab := s.m.Tab
+	counts := make(map[perf.Bin]uint64)
+	var busy uint64
+	for _, m := range s.Samples {
+		for sym, n := range m {
+			b := tab.Bin(sym)
+			if b == perf.BinIdle {
+				continue
+			}
+			counts[b] += n
+			busy += n
+		}
+	}
+	out := make(map[perf.Bin]float64)
+	if busy == 0 {
+		return out
+	}
+	for b, n := range counts {
+		out[b] = float64(n) / float64(busy)
+	}
+	return out
+}
+
+// TopSymbols lists the most-sampled symbols on one CPU.
+func (s *Sampler) TopSymbols(cpu, n int) []string {
+	type kv struct {
+		sym perf.Symbol
+		n   uint64
+	}
+	var rows []kv
+	for sym, cnt := range s.Samples[cpu] {
+		rows = append(rows, kv{sym, cnt})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].sym < rows[j].sym
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s:%d", s.m.Tab.Name(r.sym), r.n))
+	}
+	return out
+}
+
+// Format renders the sampled bin distribution.
+func (s *Sampler) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sampled %d ticks (%d idle)\n", s.Total, s.Idle)
+	shares := s.BinShares()
+	for _, bin := range perf.StackBins() {
+		fmt.Fprintf(&b, "  %-10s %6.1f%%\n", bin, 100*shares[bin])
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregate summarizes the same configuration measured under several
+// seeds: mean and standard deviation of the headline metrics. The paper
+// reports single long runs; the simulator is deterministic per seed, so
+// seed variation plays the role of run-to-run variance.
+type Aggregate struct {
+	Cfg   Config
+	Seeds int
+
+	MbpsMean, MbpsStd float64
+	CostMean, CostStd float64
+	UtilMean          float64
+
+	Results []*Result
+}
+
+// RunSeeds measures cfg under n consecutive seeds starting at cfg.Seed.
+func RunSeeds(cfg Config, n int) Aggregate {
+	if n <= 0 {
+		panic("core: RunSeeds needs at least one seed")
+	}
+	agg := Aggregate{Cfg: cfg, Seeds: n}
+	var mbps, cost, util []float64
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		r := Run(c)
+		agg.Results = append(agg.Results, r)
+		mbps = append(mbps, r.Mbps)
+		cost = append(cost, r.CostGHzPerGbps)
+		util = append(util, r.AvgUtil)
+	}
+	agg.MbpsMean, agg.MbpsStd = meanStd(mbps)
+	agg.CostMean, agg.CostStd = meanStd(cost)
+	agg.UtilMean, _ = meanStd(util)
+	return agg
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// String renders the aggregate on one line.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%s %s %6dB over %d seeds: %7.1f±%.1f Mb/s  cost=%.2f±%.02f GHz/Gbps  util=%.0f%%",
+		a.Cfg.Mode, a.Cfg.Dir, a.Cfg.Size, a.Seeds,
+		a.MbpsMean, a.MbpsStd, a.CostMean, a.CostStd, 100*a.UtilMean)
+}

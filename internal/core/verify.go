@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/ttcp"
+)
+
+// Check is one verified claim from the paper: what the paper says, what
+// the simulator measured, and whether the measurement falls in the
+// acceptance band.
+type Check struct {
+	ID       string // e.g. "fig3.ordering"
+	Claim    string // the paper's statement
+	Measured string // what this run produced
+	Pass     bool
+}
+
+// VerifyShape runs the experiment suite and scores every reproduction
+// claim from EXPERIMENTS.md. It is the executable form of that document:
+// the acceptance bands encode "same shape as the paper", not absolute
+// equality. cfgFor lets callers shrink windows (tests) or change seeds.
+func VerifyShape(cfgFor func(Mode, ttcp.Direction, int) Config) []Check {
+	if cfgFor == nil {
+		cfgFor = DefaultConfig
+	}
+	var checks []Check
+	add := func(id, claim string, pass bool, measured string, args ...any) {
+		checks = append(checks, Check{
+			ID: id, Claim: claim, Pass: pass,
+			Measured: fmt.Sprintf(measured, args...),
+		})
+	}
+
+	// Cache the runs each check needs.
+	runs := map[string]*Result{}
+	get := func(m Mode, d ttcp.Direction, size int) *Result {
+		key := fmt.Sprintf("%v/%v/%d", m, d, size)
+		if r, ok := runs[key]; ok {
+			return r
+		}
+		r := Run(cfgFor(m, d, size))
+		runs[key] = r
+		return r
+	}
+
+	// --- Figure 3: ordering and gains ---
+	none := get(ModeNone, ttcp.TX, 65536)
+	proc := get(ModeProc, ttcp.TX, 65536)
+	irq := get(ModeIRQ, ttcp.TX, 65536)
+	full := get(ModeFull, ttcp.TX, 65536)
+
+	procRatio := proc.Mbps / none.Mbps
+	add("fig3.proc-no-gain",
+		"process affinity alone has little impact on throughput",
+		procRatio > 0.95 && procRatio < 1.05,
+		"proc/none throughput ratio %.3f", procRatio)
+
+	irqGain := irq.Mbps/none.Mbps - 1
+	add("fig3.irq-gain",
+		"interrupt affinity alone improves throughput (paper: up to 25%)",
+		irqGain > 0.05,
+		"+%.1f%%", 100*irqGain)
+
+	fullGain := full.Mbps/none.Mbps - 1
+	add("fig3.full-gain",
+		"full affinity achieves the best gains (paper: up to 29%)",
+		fullGain > 0.10 && full.Mbps >= irq.Mbps*0.99,
+		"+%.1f%% (irq +%.1f%%)", 100*fullGain, 100*irqGain)
+
+	add("fig3.utilization",
+		"CPUs almost fully utilized in all cases",
+		none.AvgUtil > 0.95 && full.AvgUtil > 0.95,
+		"none %.0f%%, full %.0f%%", 100*none.AvgUtil, 100*full.AvgUtil)
+
+	// --- Figure 4: cost bands ---
+	add("fig4.tx64k-cost",
+		"TX 64KB cost ≈1.9 no-aff -> ≈1.4 full-aff GHz/Gbps",
+		none.CostGHzPerGbps > 1.2 && none.CostGHzPerGbps < 2.4 &&
+			full.CostGHzPerGbps < none.CostGHzPerGbps,
+		"%.2f -> %.2f", none.CostGHzPerGbps, full.CostGHzPerGbps)
+
+	noneSmall := get(ModeNone, ttcp.TX, 128)
+	fullSmall := get(ModeFull, ttcp.TX, 128)
+	smallImp := 1 - fullSmall.CostGHzPerGbps/noneSmall.CostGHzPerGbps
+	largeImp := 1 - full.CostGHzPerGbps/none.CostGHzPerGbps
+	add("fig4.size-trend",
+		"affinity has a bigger impact on large transfers",
+		largeImp > smallImp,
+		"64KB %.1f%% vs 128B %.1f%%", 100*largeImp, 100*smallImp)
+
+	// --- Table 1: characterization shape ---
+	tabNone := BaselineTable(none)
+	add("table1.overall-mpi",
+		"overall no-affinity MPI ≈ 0.0078 at TX 64KB",
+		tabNone.Overall.MPI > 0.004 && tabNone.Overall.MPI < 0.012,
+		"%.4f", tabNone.Overall.MPI)
+
+	tabSmall := BaselineTable(noneSmall)
+	var ifaceSmall float64
+	for _, row := range tabSmall.Rows {
+		if row.Bin == perf.BinInterface {
+			ifaceSmall = row.PctCycles
+		}
+	}
+	add("table1.interface-small",
+		"the sockets interface dominates 128B transfers (paper: 42%)",
+		ifaceSmall > 0.30 && ifaceSmall < 0.55,
+		"%.1f%%", 100*ifaceSmall)
+
+	rxLarge := get(ModeNone, ttcp.RX, 65536)
+	tabRx := BaselineTable(rxLarge)
+	var rxCopies BinRowView
+	for _, row := range tabRx.Rows {
+		if row.Bin == perf.BinCopies {
+			rxCopies = BinRowView{Pct: row.PctCycles, CPI: row.CPI}
+		}
+	}
+	add("table1.rx-copy-cpi",
+		"RX 64KB copies show rep-mov CPI (paper: 66) and dominate time",
+		rxCopies.CPI > 10 && rxCopies.Pct > 0.25,
+		"CPI %.1f, %.1f%% of cycles", rxCopies.CPI, 100*rxCopies.Pct)
+
+	add("table1.rx-more-memory-bound",
+		"TX has lower CPI and MPI than RX",
+		tabNone.Overall.CPI < tabRx.Overall.CPI && tabNone.Overall.MPI < tabRx.Overall.MPI,
+		"TX CPI %.2f vs RX %.2f", tabNone.Overall.CPI, tabRx.Overall.CPI)
+
+	// --- Table 2: locks ---
+	lbNone := LockStats(none)
+	lbFull := LockStats(full)
+	add("table2.lock-branches",
+		"full affinity retires far fewer lock branches; mispredict ratio inflates",
+		lbFull.Branches < lbNone.Branches/2 && lbFull.MispredictRatio > lbNone.MispredictRatio,
+		"branches %d -> %d, ratio %.3f%% -> %.3f%%",
+		lbNone.Branches, lbFull.Branches, 100*lbNone.MispredictRatio, 100*lbFull.MispredictRatio)
+
+	// --- Figure 5: indicators ---
+	shares := map[perf.Event]float64{}
+	for _, sh := range Indicators(none) {
+		shares[sh.Event] = sh.Share
+	}
+	othersBelow := true
+	for ev, v := range shares {
+		if ev == perf.MachineClears || ev == perf.LLCMisses || ev == perf.Instructions {
+			continue
+		}
+		if v >= shares[perf.MachineClears] || v >= shares[perf.LLCMisses] {
+			othersBelow = false
+		}
+	}
+	add("fig5.dominant-events",
+		"machine clears and LLC misses account for most attributed time",
+		othersBelow && shares[perf.MachineClears] > 0.10 && shares[perf.LLCMisses] > 0.10,
+		"clears %.1f%%, LLC %.1f%%", 100*shares[perf.MachineClears], 100*shares[perf.LLCMisses])
+
+	// --- Table 3: improvement decomposition ---
+	cmp := Compare(none, full)
+	var bufImp, copyImp float64
+	bufLargest := true
+	for _, b := range cmp.Bins {
+		switch b.Bin {
+		case perf.BinBufMgmt:
+			bufImp = b.CyclesImp
+		case perf.BinCopies:
+			copyImp = b.CyclesImp
+		}
+	}
+	for _, b := range cmp.Bins {
+		if b.Bin != perf.BinBufMgmt && b.CyclesImp > bufImp {
+			bufLargest = false
+		}
+	}
+	add("table3.bufmgmt-carries-gain",
+		"buffer management contributes the largest share of the 64KB improvement",
+		bufLargest && bufImp > 0.05,
+		"buf mgmt %.1f%% of total %.1f%%", 100*bufImp, 100*cmp.OverallCycles)
+	add("table3.copies-unaffected",
+		"affinity did not seem to affect copies",
+		copyImp > -0.05 && copyImp < 0.05,
+		"copies improvement %.1f%%", 100*copyImp)
+
+	// --- Table 4: clear distribution ---
+	noneS := get(ModeNone, ttcp.TX, 128)
+	fullS := get(ModeFull, ttcp.TX, 128)
+	handlerClears := func(r *Result, cpu int) uint64 {
+		var total uint64
+		for _, v := range Vectors {
+			sym := r.Ctr.Table().Lookup(fmt.Sprintf("IRQ%#x_interrupt", int(v)))
+			if sym >= 0 {
+				total += r.Ctr.Get(cpu, sym, perf.MachineClears)
+			}
+		}
+		return total
+	}
+	add("table4.handlers-cpu0",
+		"no affinity: CPU0 services all device interrupts",
+		handlerClears(noneS, 1) == 0 && handlerClears(noneS, 0) > 0,
+		"cpu0 %d, cpu1 %d handler clears", handlerClears(noneS, 0), handlerClears(noneS, 1))
+	add("table4.handlers-split",
+		"full affinity divides the interrupt handlers between the processors",
+		handlerClears(fullS, 0) > 0 && handlerClears(fullS, 1) > 0,
+		"cpu0 %d, cpu1 %d handler clears", handlerClears(fullS, 0), handlerClears(fullS, 1))
+
+	// --- Table 5: correlations ---
+	add("table5.correlations",
+		"LLC and clear improvements correlate with time improvements (p<0.05)",
+		cmp.CorrLLC >= cmp.CorrCritical && cmp.CorrClears >= cmp.CorrCritical,
+		"rho LLC %.2f, clears %.2f (critical %.3f)", cmp.CorrLLC, cmp.CorrClears, cmp.CorrCritical)
+
+	return checks
+}
+
+// BinRowView is a small projection used by VerifyShape.
+type BinRowView struct {
+	Pct float64
+	CPI float64
+}
+
+// FormatChecks renders a verification scorecard.
+func FormatChecks(checks []Check) string {
+	var b strings.Builder
+	pass := 0
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		} else {
+			pass++
+		}
+		fmt.Fprintf(&b, "[%s] %-26s %s\n       measured: %s\n", mark, c.ID, c.Claim, c.Measured)
+	}
+	fmt.Fprintf(&b, "%d/%d checks passed\n", pass, len(checks))
+	return b.String()
+}

@@ -1,0 +1,217 @@
+// Package cpu models the processors of the system under test: a Pentium 4
+// Xeon-class core reduced to the first-order cost model the paper itself
+// uses for analysis (§6.2) — cycles are base work plus event penalties —
+// except that here the events are *generated* by structural simulation
+// (real caches, TLBs, a trace cache, a coherence directory) rather than
+// assumed.
+//
+// A simulated kernel procedure executes by opening an Exec, declaring its
+// instruction stream and memory touches, and finishing; the model turns
+// that into cycles and increments the machine-wide PMU counter file that
+// the Oprofile-like profiler later reads.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// Penalties holds the cycle cost charged per architectural event. The
+// defaults are the paper's Figure 5 costs, taken from the VTune 7.1
+// tuning guidance for the Pentium 4.
+type Penalties struct {
+	// MachineClear is the *timeline* cost of a pipeline flush: the
+	// effective refill latency, which overlaps with other stalls. The
+	// paper's Figure 5 methodology prices clears at a nominal 500 cycles
+	// when attributing time to events (prof.ImpactCosts does the same);
+	// that indicator is deliberately an overestimate — the paper's own
+	// shares sum past 100% — so the simulator charges the smaller
+	// effective cost here while the reporting layer keeps the paper's.
+	MachineClear uint64
+	TCMiss       uint64 // trace-cache miss
+	L2Hit        uint64 // L1 miss served by L2 (not a paper event; folded cost)
+	L2Miss       uint64 // served by on-die L3 (the paper's "L2 miss")
+	LLCMiss      uint64 // served by memory or a remote dirty copy
+	ITLBWalk     uint64
+	DTLBWalk     uint64
+	BrMispredict uint64
+	// RemoteClearPeriod injects one machine clear per this many
+	// cache-to-cache transfers of remote-dirty lines (P4 snoops that hit
+	// speculative loads flush the pipeline). 0 disables. These clears
+	// land on the code touching the bounced lines — the TCP engine and
+	// buffer management in no-affinity mode — which is where the paper
+	// localizes the affinity-sensitive clears (§6.3, Table 3).
+	RemoteClearPeriod int
+}
+
+// DefaultPenalties returns the paper's Figure 5 cost table.
+func DefaultPenalties() Penalties {
+	return Penalties{
+		MachineClear:      120,
+		TCMiss:            20,
+		L2Hit:             7,
+		L2Miss:            10,
+		LLCMiss:           300,
+		ITLBWalk:          30,
+		DTLBWalk:          36,
+		BrMispredict:      30,
+		RemoteClearPeriod: 2,
+	}
+}
+
+// Config describes one processor.
+type Config struct {
+	// ClockHz is the core frequency; the SUT runs 2 GHz parts.
+	ClockHz uint64
+	// BaseCPI is the cycles-per-instruction of unstalled execution. The
+	// paper's lower-bound row uses the P4's theoretical 3 retired
+	// instructions/cycle (0.33 CPI); sustained kernel code on the P4
+	// retires about one instruction per cycle, so that is the default.
+	BaseCPI float64
+	// Penalty is the per-event cost table.
+	Penalty Penalties
+	// TLBEntries sizes the instruction and data TLBs.
+	TLBEntries int
+}
+
+// DefaultConfig returns the paper's SUT processor: 2 GHz, P4 cost table.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:    2_000_000_000,
+		BaseCPI:    1.0,
+		Penalty:    DefaultPenalties(),
+		TLBEntries: 64,
+	}
+}
+
+// CodeRef locates a simulated procedure's instruction bytes, so the
+// front-end structures (trace cache, ITLB) see a realistic footprint.
+type CodeRef struct {
+	Base mem.Addr
+	Size int
+}
+
+// Model is one simulated processor core.
+type Model struct {
+	id   int
+	cfg  Config
+	hier *mem.Hierarchy
+	itlb *mem.TLB
+	dtlb *mem.TLB
+	tc   *mem.Cache
+	ctr  *perf.Counters
+	rng  *sim.RNG
+	// remoteAccum counts remote-dirty transfers toward the next
+	// snoop-induced machine clear.
+	remoteAccum int
+}
+
+// New builds a core attached to its cache hierarchy and the shared
+// counter file. rng supplies the deterministic stream used to draw
+// per-block mispredict counts.
+func New(id int, cfg Config, hier *mem.Hierarchy, ctr *perf.Counters, rng *sim.RNG) *Model {
+	if cfg.ClockHz == 0 || cfg.BaseCPI <= 0 {
+		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
+	}
+	if cfg.TLBEntries <= 0 {
+		cfg.TLBEntries = 64
+	}
+	return &Model{
+		id:   id,
+		cfg:  cfg,
+		hier: hier,
+		itlb: mem.NewTLB(cfg.TLBEntries),
+		dtlb: mem.NewTLB(cfg.TLBEntries),
+		tc:   mem.NewCache(mem.TraceCacheCfg()),
+		ctr:  ctr,
+		rng:  rng,
+	}
+}
+
+// ID reports the processor number.
+func (m *Model) ID() int { return m.id }
+
+// Config returns the core's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Hierarchy exposes the core's data-cache hierarchy.
+func (m *Model) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Counters exposes the machine counter file the core posts events to.
+func (m *Model) Counters() *perf.Counters { return m.ctr }
+
+// FlushTLBs models an address-space switch: the P4 has no ASIDs, so both
+// TLBs empty. The scheduler calls this when it switches between tasks
+// with different address spaces (and on migration arrival).
+func (m *Model) FlushTLBs() {
+	m.itlb.Flush()
+	m.dtlb.Flush()
+}
+
+// MachineClear records n pipeline flushes attributed to sym (the symbol
+// executing when the flush hit — Oprofile's "skid" behaviour) and returns
+// the cycle penalty, which the caller charges to the CPU's timeline.
+func (m *Model) MachineClear(sym perf.Symbol, n uint64) sim.Cycles {
+	if n == 0 {
+		return 0
+	}
+	m.ctr.Add(m.id, sym, perf.MachineClears, n)
+	pen := n * m.cfg.Penalty.MachineClear
+	m.ctr.Add(m.id, sym, perf.Cycles, pen)
+	return pen
+}
+
+// CountIRQ records delivery of a device interrupt.
+func (m *Model) CountIRQ(sym perf.Symbol) {
+	m.ctr.Add(m.id, sym, perf.IRQsReceived, 1)
+}
+
+// CountIPI records delivery of an inter-processor interrupt.
+func (m *Model) CountIPI(sym perf.Symbol) {
+	m.ctr.Add(m.id, sym, perf.IPIsReceived, 1)
+}
+
+// TouchSide performs a side-band memory touch attributed to sym: cache
+// and coherence state update and all events post, but the (small) cycle
+// cost is folded into the surrounding activation rather than advancing
+// the timeline separately. The scheduler uses it for cross-processor
+// runqueue writes during wakeups.
+func (m *Model) TouchSide(sym perf.Symbol, addr mem.Addr, size int, write bool) {
+	r := m.hier.AccessRange(addr, size, write)
+	if r.LLCHits > 0 {
+		m.ctr.Add(m.id, sym, perf.L2Misses, uint64(r.LLCHits))
+		m.ctr.Add(m.id, sym, perf.Cycles, uint64(r.LLCHits)*m.cfg.Penalty.L2Miss)
+	}
+	if r.Misses > 0 {
+		m.ctr.Add(m.id, sym, perf.LLCMisses, uint64(r.Misses))
+		m.ctr.Add(m.id, sym, perf.Cycles, uint64(r.Misses)*m.cfg.Penalty.LLCMiss)
+	}
+}
+
+// Spin accounts for dur cycles burnt in a spinlock wait loop attributed
+// to sym. The paper's Table 2 dissects the loop: each iteration is a
+// compare, a PAUSE (REPZ NOP) and a conditional jump, so branch and
+// instruction counts scale with the wait — the mechanism behind the
+// "fewer branches, inflated mispredict ratio" observation under full
+// affinity.
+func (m *Model) Spin(sym perf.Symbol, dur sim.Cycles) {
+	if dur == 0 {
+		return
+	}
+	const cyclesPerIter = 25 // PAUSE delay dominates each loop pass
+	iters := dur / cyclesPerIter
+	if iters == 0 {
+		iters = 1
+	}
+	m.ctr.Add(m.id, sym, perf.Cycles, dur)
+	m.ctr.Add(m.id, sym, perf.SpinCycles, dur)
+	m.ctr.Add(m.id, sym, perf.Instructions, iters*3)
+	m.ctr.Add(m.id, sym, perf.Branches, iters)
+	// The loop-back branch is essentially always predicted; the single
+	// exit branch mispredicts.
+	m.ctr.Add(m.id, sym, perf.BranchMispredicts, 1)
+	m.ctr.Add(m.id, sym, perf.Cycles, m.cfg.Penalty.BrMispredict)
+}

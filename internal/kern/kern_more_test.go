@@ -1,0 +1,296 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+func TestSleepWithLockHeldPanics(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	l := r.k.NewSpinLock("l")
+	wq := NewWaitQueue("wq")
+	panicked := false
+	r.k.Spawn("t", 0, 0, func(e *Env) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		l.Lock(e)
+		e.Sleep(wq)
+	})
+	func() {
+		defer func() { recover() }() // the coroutine re-panics on the engine side
+		r.eng.Run(10_000_000)
+	}()
+	if !panicked {
+		t.Fatal("sleeping with a spinlock held did not panic")
+	}
+}
+
+func TestSpinlockFIFOGrantOrder(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	l := r.k.NewSpinLock("l")
+	p := r.proc("crit", perf.BinOther)
+	var order []string
+
+	// Holder on CPU0 keeps the lock long enough for both waiters to queue.
+	r.k.Spawn("holder", 0, 1<<0, func(e *Env) {
+		l.Lock(e)
+		e.Run(p, func(x *cpu.Exec) { x.Instr(500_000, 0, 0) })
+		l.Unlock(e)
+	})
+	mk := func(name string, delay uint64) {
+		r.eng.At(sim.Time(delay), func() {
+			r.k.Spawn(name, 1, 1<<1, func(e *Env) {
+				l.Lock(e)
+				order = append(order, name)
+				l.Unlock(e)
+			})
+		})
+	}
+	mk("first", 10_000)
+	mk("second", 60_000)
+	r.eng.Run(50_000_000)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("grant order %v, want [first second]", order)
+	}
+}
+
+func TestWaitQueueWakeOneIsFIFO(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	wq := NewWaitQueue("wq")
+	var woke []string
+	mk := func(name string) {
+		r.k.Spawn(name, 0, 0, func(e *Env) {
+			e.Sleep(wq)
+			woke = append(woke, name)
+		})
+	}
+	mk("a")
+	mk("b")
+	mk("c")
+	r.eng.After(5_000_000, func() {
+		if !wq.WakeOne(r.k, nil) {
+			t.Error("WakeOne found no waiters")
+		}
+	})
+	r.eng.After(10_000_000, func() { wq.WakeAll(r.k, nil) })
+	r.eng.Run(100_000_000)
+	if len(woke) != 3 || woke[0] != "a" {
+		t.Fatalf("wake order %v, want a first", woke)
+	}
+	if wq.WakeOne(r.k, nil) {
+		t.Fatal("WakeOne on empty queue reported success")
+	}
+}
+
+func TestWakeOnDeadTaskIsNoop(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	st := r.k.Spawn("short", 0, 0, func(e *Env) {})
+	r.eng.Run(1_000_000)
+	if st.State() != TaskDead {
+		t.Fatal("task did not die")
+	}
+	r.k.Wake(st, nil) // must not panic or requeue
+	r.eng.Run(2_000_000)
+	if st.State() != TaskDead {
+		t.Fatal("dead task resurrected")
+	}
+}
+
+func TestSetAffinityRejectsEmptyAndForeignMask(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	st := r.k.Spawn("t", 0, 0, func(e *Env) {
+		for {
+			e.Yield()
+		}
+	})
+	if err := r.k.SetAffinity(st, 0); err == nil {
+		t.Error("empty mask accepted")
+	}
+	if err := r.k.SetAffinity(st, 0xc); err == nil {
+		t.Error("mask naming only nonexistent CPUs accepted")
+	}
+	if err := r.k.SetAffinity(st, 0x3); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+}
+
+func TestMigrationFlushesTLBsViaAddressSpaceSwitch(t *testing.T) {
+	// Two processes alternating on one CPU have different address
+	// spaces, so every switch flushes and data pages must re-walk.
+	r := newKernel(t, 1, 1)
+	p := r.proc("toucher", perf.BinOther)
+	buf := r.k.Space.AllocPage(4096, "buf")
+	mk := func(name string) {
+		r.k.Spawn(name, 0, 0, func(e *Env) {
+			for i := 0; i < 5; i++ {
+				e.Run(p, func(x *cpu.Exec) { x.Instr(100, 0, 0).Load(buf, 64) })
+				e.Yield()
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	r.eng.Run(100_000_000)
+	// 10 activations, each after an mm switch: every one walks the page.
+	if got := r.ctr.SymbolTotal(p.Sym, perf.DTLBWalks); got != 10 {
+		t.Fatalf("dtlb walks = %d, want 10 (one per post-switch touch)", got)
+	}
+}
+
+func TestIdleStealRespectsCacheDecay(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	r.k.StartTicks() // idle CPUs reach the scheduler via timer ticks
+	p := r.proc("w", perf.BinOther)
+	// One long-running task on CPU0 plus one queued behind it.
+	r.k.Spawn("hog", 0, 1<<0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(50_000_000, 0, 0) })
+	})
+	var queuedRanOn int = -1
+	r.k.Spawn("queued", 0, 0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(1000, 0, 0) })
+		queuedRanOn = e.CPU().ID()
+	})
+	r.eng.Run(100_000_000)
+	// CPU1 is idle; after the decay period it must steal the queued task.
+	if queuedRanOn != 1 {
+		t.Fatalf("queued task ran on %d, want stolen by idle CPU1", queuedRanOn)
+	}
+	if r.k.Stats.Steals == 0 {
+		t.Fatal("no steal recorded")
+	}
+}
+
+func TestTimerRearmAndStats(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	fired := 0
+	var tm *Timer
+	tm = r.k.NewTimer(func(env *Env) {
+		fired++
+		if fired < 3 {
+			r.k.ModTimer(tm, r.eng.Now()+sim.Time(30_000_000))
+		}
+	})
+	r.k.ModTimer(tm, 30_000_000)
+	r.eng.Run(500_000_000)
+	if fired != 3 {
+		t.Fatalf("timer fired %d times, want 3 (self-rearm)", fired)
+	}
+}
+
+func TestModTimerMovesDeadline(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	var firedAt sim.Time
+	tm := r.k.NewTimer(func(env *Env) { firedAt = r.eng.Now() })
+	r.k.ModTimer(tm, 30_000_000)
+	r.k.ModTimer(tm, 200_000_000) // push it out
+	r.eng.Run(400_000_000)
+	if firedAt < 200_000_000 {
+		t.Fatalf("timer fired at %d despite rearm to 200M", firedAt)
+	}
+	if r.k.ArmedTimers() != 0 {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTouchSideRecordsCoherenceTraffic(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	sym := r.k.Tab.Register("side", perf.BinOther)
+	addr := r.k.Space.Alloc(64, "line")
+	// CPU1 dirties the line, CPU0 side-touches it: one LLC miss for CPU0.
+	r.k.CPUs[1].Model.Hierarchy().AccessRange(addr, 64, true)
+	r.k.CPUs[0].Model.TouchSide(sym, addr, 64, true)
+	if got := r.ctr.Get(0, sym, perf.LLCMisses); got != 1 {
+		t.Fatalf("side touch misses = %d, want 1", got)
+	}
+}
+
+func TestShutdownReapsParkedTasks(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	cleanups := 0
+	for i := 0; i < 3; i++ {
+		r.k.Spawn("eternal", 0, 0, func(e *Env) {
+			defer func() { cleanups++ }()
+			wq := NewWaitQueue("never")
+			e.Sleep(wq)
+		})
+	}
+	r.eng.Run(10_000_000)
+	r.k.Shutdown()
+	if cleanups != 3 {
+		t.Fatalf("%d deferred cleanups ran, want 3", cleanups)
+	}
+	// Shutdown must be idempotent.
+	r.k.Shutdown()
+}
+
+func TestCPUUtilBounds(t *testing.T) {
+	if CPUUtil(100, 0) != 1 {
+		t.Error("fully busy != 1")
+	}
+	if CPUUtil(100, 100) != 0 {
+		t.Error("fully idle != 0")
+	}
+	if CPUUtil(100, 150) != 0 {
+		t.Error("over-idle not clamped")
+	}
+	if got := CPUUtil(200, 50); got != 0.75 {
+		t.Errorf("util = %v, want 0.75", got)
+	}
+}
+
+func TestDelaySleepsForVirtualTime(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks() // timers fire off ticks
+	var woke sim.Time
+	r.k.Spawn("sleeper", 0, 0, func(e *Env) {
+		e.Delay(50_000_000)
+		woke = r.eng.Now()
+	})
+	r.eng.Run(500_000_000)
+	if woke < 50_000_000 {
+		t.Fatalf("woke at %d, want >= 50M", woke)
+	}
+	// Timer resolution is one tick (10 ms): wakeup within two ticks.
+	if woke > 50_000_000+2*sim.Time(r.k.Tune.TickCycles) {
+		t.Fatalf("woke at %d, far beyond deadline", woke)
+	}
+	if r.k.ArmedTimers() != 0 {
+		t.Fatal("delay timer leaked")
+	}
+}
+
+func TestDelayFromSoftirqPanics(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	panicked := false
+	r.k.RegisterSoftirq(SoftirqNetRx, func(env *Env) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		env.Delay(1000)
+	})
+	hp := r.k.NewProc("IRQ0x30_interrupt", perf.BinDriver, 256)
+	r.k.RegisterIRQ(0x30, &IRQAction{
+		Proc:   hp,
+		Build:  func(c *KCPU, x *cpu.Exec) { x.Instr(50, 0, 0) },
+		Effect: func(c *KCPU) { c.RaiseSoftirq(SoftirqNetRx) },
+	})
+	r.eng.At(1000, func() { r.k.APIC.Raise(0x30) })
+	func() {
+		defer func() { recover() }()
+		r.eng.Run(50_000_000)
+	}()
+	if !panicked {
+		t.Fatal("Delay from softirq did not panic")
+	}
+}

@@ -1,0 +1,569 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/apic"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+type testRig struct {
+	eng *sim.Engine
+	k   *Kernel
+	tab *perf.SymbolTable
+	ctr *perf.Counters
+}
+
+func newKernel(t *testing.T, cpus int, seed uint64) *testRig {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	tab := perf.NewSymbolTable()
+	ctr := perf.NewCounters(tab, cpus)
+	k := New(Config{
+		Engine:  eng,
+		Space:   mem.NewSpace(),
+		Table:   tab,
+		Ctr:     ctr,
+		NumCPUs: cpus,
+		CPU:     cpu.DefaultConfig(),
+		Tune:    DefaultTuning(),
+	})
+	t.Cleanup(k.Shutdown)
+	return &testRig{eng: eng, k: k, tab: tab, ctr: ctr}
+}
+
+func (r *testRig) proc(name string, bin perf.Bin) Proc {
+	return r.k.NewProc(name, bin, 512)
+}
+
+func TestTaskRunsAndCompletes(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	p := r.proc("worker_fn", perf.BinOther)
+	done := false
+	r.k.Spawn("w", 0, 0, func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Run(p, func(x *cpu.Exec) { x.Instr(1000, 0.1, 0.01) })
+		}
+		done = true
+	})
+	r.eng.Run(10_000_000)
+	if !done {
+		t.Fatal("task did not finish")
+	}
+	if got := r.ctr.SymbolTotal(p.Sym, perf.Instructions); got != 5000 {
+		t.Fatalf("instructions = %d, want 5000", got)
+	}
+	if !r.k.CPUs[0].IsIdle() {
+		t.Fatal("CPU0 not idle after task exit")
+	}
+}
+
+func TestTwoTasksShareProcessorViaYield(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	p := r.proc("yielder", perf.BinOther)
+	var order []string
+	mk := func(name string) {
+		r.k.Spawn(name, 0, 0, func(e *Env) {
+			for i := 0; i < 3; i++ {
+				e.Run(p, func(x *cpu.Exec) { x.Instr(500, 0, 0) })
+				order = append(order, name)
+				e.Yield()
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	r.eng.Run(100_000_000)
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	// Yield must interleave them strictly after the first completes a step.
+	for i := 0; i+1 < len(order); i++ {
+		if order[i] == order[i+1] {
+			t.Fatalf("no interleaving: %v", order)
+		}
+	}
+}
+
+func TestSleepAndWake(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	p := r.proc("sleeper_fn", perf.BinOther)
+	wq := NewWaitQueue("test")
+	var woke bool
+	var ready bool
+	r.k.Spawn("sleeper", 0, 0, func(e *Env) {
+		for !ready {
+			e.Sleep(wq)
+		}
+		woke = true
+	})
+	r.k.Spawn("waker", 1, 0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(50_000, 0, 0) })
+		ready = true
+		wq.WakeAll(r.k, e)
+	})
+	r.eng.Run(100_000_000)
+	if !woke {
+		t.Fatal("sleeper never woke")
+	}
+	if wq.Len() != 0 {
+		t.Fatalf("waitqueue still has %d waiters", wq.Len())
+	}
+}
+
+func TestWakePrefersLastCPUWhenIdle(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	wq := NewWaitQueue("wq")
+	var ranOn []int
+	var ready bool
+	st := r.k.Spawn("s", 1, 0, func(e *Env) {
+		for !ready {
+			e.Sleep(wq)
+		}
+		ranOn = append(ranOn, e.CPU().ID())
+	})
+	p := r.proc("wk", perf.BinOther)
+	r.k.Spawn("w", 0, 0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(100_000, 0, 0) })
+		ready = true
+		r.k.Wake(st, e)
+	})
+	r.eng.Run(200_000_000)
+	if len(ranOn) != 1 || ranOn[0] != 1 {
+		t.Fatalf("task resumed on %v, want [1] (its last CPU, idle)", ranOn)
+	}
+}
+
+func TestCrossCPUWakeSendsIPIAndClears(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	wq := NewWaitQueue("wq")
+	var ready bool
+	st := r.k.Spawn("s", 1, 0, func(e *Env) {
+		for !ready {
+			e.Sleep(wq)
+		}
+	})
+	p := r.proc("wk", perf.BinOther)
+	r.k.Spawn("w", 0, 0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(100_000, 0, 0) })
+		ready = true
+		r.k.Wake(st, e)
+	})
+	r.eng.Run(200_000_000)
+	if got := r.ctr.CPUTotal(1, perf.IPIsReceived); got != 1 {
+		t.Fatalf("CPU1 IPIs = %d, want 1", got)
+	}
+	if got := r.ctr.CPUTotal(1, perf.MachineClears); got < r.k.Tune.ClearsPerIPI {
+		t.Fatalf("CPU1 clears = %d, want >= %d", got, r.k.Tune.ClearsPerIPI)
+	}
+	// The IPI's clears land on the idle loop's symbol (what CPU1 was
+	// doing when it was interrupted) — attribution skid.
+	idleSym := r.tab.Lookup("cpu_idle")
+	if got := r.ctr.Get(1, idleSym, perf.MachineClears); got != r.k.Tune.ClearsPerIPI {
+		t.Fatalf("clears on cpu_idle = %d, want %d", got, r.k.Tune.ClearsPerIPI)
+	}
+}
+
+func TestSameCPUWakeAvoidsIPI(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	wq := NewWaitQueue("wq")
+	var ready bool
+	st := r.k.Spawn("s", 0, 0, func(e *Env) {
+		for !ready {
+			e.Sleep(wq)
+		}
+	})
+	p := r.proc("wk", perf.BinOther)
+	r.k.Spawn("w", 0, 0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(100_000, 0, 0) })
+		ready = true
+		r.k.Wake(st, e)
+	})
+	r.eng.Run(200_000_000)
+	if got := r.ctr.CPUTotal(0, perf.IPIsReceived); got != 0 {
+		t.Fatalf("same-CPU wake sent %d IPIs", got)
+	}
+	if st.State() != TaskDead {
+		t.Fatal("sleeper did not run")
+	}
+}
+
+func TestDeviceIRQHandlerAndEffect(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	hp := r.k.NewProc("IRQ0x19_interrupt", perf.BinDriver, 512)
+	fired := 0
+	r.k.RegisterIRQ(0x19, &IRQAction{
+		Proc:   hp,
+		Build:  func(c *KCPU, x *cpu.Exec) { x.Instr(700, 0.15, 0.03) },
+		Effect: func(c *KCPU) { fired++ },
+	})
+	r.eng.At(1000, func() { r.k.APIC.Raise(0x19) })
+	r.eng.Run(10_000_000)
+	if fired != 1 {
+		t.Fatalf("effect ran %d times, want 1", fired)
+	}
+	if got := r.ctr.Get(0, hp.Sym, perf.MachineClears); got != r.k.Tune.ClearsPerDeviceIRQ {
+		t.Fatalf("handler clears = %d, want %d", got, r.k.Tune.ClearsPerDeviceIRQ)
+	}
+	if got := r.ctr.Get(0, hp.Sym, perf.IRQsReceived); got != 1 {
+		t.Fatalf("irq count = %d, want 1", got)
+	}
+	if got := r.ctr.Get(0, hp.Sym, perf.Instructions); got != 700 {
+		t.Fatalf("handler instructions = %d, want 700", got)
+	}
+}
+
+func TestIRQAffinityRoutesHandlerToOtherCPU(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	hp := r.k.NewProc("IRQ0x1a_interrupt", perf.BinDriver, 512)
+	r.k.RegisterIRQ(0x1a, &IRQAction{
+		Proc:  hp,
+		Build: func(c *KCPU, x *cpu.Exec) { x.Instr(700, 0.15, 0.03) },
+	})
+	if err := r.k.APIC.SetAffinity(0x1a, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.At(1000, func() { r.k.APIC.Raise(0x1a) })
+	r.eng.Run(10_000_000)
+	if got := r.ctr.Get(1, hp.Sym, perf.IRQsReceived); got != 1 {
+		t.Fatalf("CPU1 irqs = %d, want 1", got)
+	}
+	if got := r.ctr.Get(0, hp.Sym, perf.IRQsReceived); got != 0 {
+		t.Fatalf("CPU0 irqs = %d, want 0", got)
+	}
+}
+
+func TestSoftirqRunsOnRaisingCPUAndPreemptsTask(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	hp := r.k.NewProc("IRQ0x1b_interrupt", perf.BinDriver, 512)
+	sp := r.proc("net_rx_action_test", perf.BinDriver)
+	var softCPU = -1
+	var taskSteps, softRan int
+	r.k.RegisterSoftirq(SoftirqNetRx, func(env *Env) {
+		softCPU = env.CPU().ID()
+		softRan++
+		env.Run(sp, func(x *cpu.Exec) { x.Instr(2000, 0.1, 0.01) })
+	})
+	r.k.RegisterIRQ(0x1b, &IRQAction{
+		Proc:   hp,
+		Build:  func(c *KCPU, x *cpu.Exec) { x.Instr(500, 0.1, 0.01) },
+		Effect: func(c *KCPU) { c.RaiseSoftirq(SoftirqNetRx) },
+	})
+	p := r.proc("busy", perf.BinOther)
+	r.k.Spawn("busy", 0, 0, func(e *Env) {
+		for i := 0; i < 100; i++ {
+			e.Run(p, func(x *cpu.Exec) { x.Instr(5000, 0, 0) })
+			taskSteps++
+		}
+	})
+	r.eng.At(50_000, func() { r.k.APIC.Raise(0x1b) })
+	r.eng.Run(100_000_000)
+	if softRan != 1 || softCPU != 0 {
+		t.Fatalf("softirq ran %d times on cpu %d", softRan, softCPU)
+	}
+	if taskSteps != 100 {
+		t.Fatalf("task finished %d steps, want 100 (must resume after softirq)", taskSteps)
+	}
+}
+
+func TestSpinlockUncontendedHasNoSpin(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	l := r.k.NewSpinLock("sk")
+	p := r.proc("crit", perf.BinOther)
+	r.k.Spawn("t", 0, 0, func(e *Env) {
+		for i := 0; i < 10; i++ {
+			l.Lock(e)
+			e.Run(p, func(x *cpu.Exec) { x.Instr(100, 0, 0) })
+			l.Unlock(e)
+		}
+	})
+	r.eng.Run(50_000_000)
+	if got := r.ctr.Total(perf.SpinCycles); got != 0 {
+		t.Fatalf("uncontended lock spun %d cycles", got)
+	}
+	acq, cont := l.Stats()
+	if acq != 10 || cont != 0 {
+		t.Fatalf("stats = %d/%d, want 10/0", acq, cont)
+	}
+	if l.Held() {
+		t.Fatal("lock still held")
+	}
+}
+
+func TestSpinlockContentionAccountsSpinCycles(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	l := r.k.NewSpinLock("sk")
+	p := r.proc("crit", perf.BinOther)
+	body := func(e *Env) {
+		for i := 0; i < 20; i++ {
+			l.Lock(e)
+			e.Run(p, func(x *cpu.Exec) { x.Instr(20_000, 0, 0) })
+			l.Unlock(e)
+		}
+	}
+	r.k.Spawn("a", 0, 1<<0, body)
+	r.k.Spawn("b", 1, 1<<1, body)
+	r.eng.Run(2_000_000_000)
+	if got := r.ctr.Total(perf.SpinCycles); got == 0 {
+		t.Fatal("contended lock recorded no spin cycles")
+	}
+	_, cont := l.Stats()
+	if cont == 0 {
+		t.Fatal("no contentions recorded")
+	}
+	lockSym := r.tab.Lookup("spin_lock")
+	if got := r.ctr.SymbolTotal(lockSym, perf.Branches); got == 0 {
+		t.Fatal("spin loop retired no branches")
+	}
+}
+
+func TestSpinlockDisablesBottomHalves(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	l := r.k.NewSpinLock("sk")
+	hp := r.k.NewProc("IRQ0x1c_interrupt", perf.BinDriver, 512)
+	var softAt, unlockAt sim.Time
+	r.k.RegisterSoftirq(SoftirqNetRx, func(env *Env) {
+		softAt = r.eng.Now()
+	})
+	r.k.RegisterIRQ(0x1c, &IRQAction{
+		Proc:   hp,
+		Build:  func(c *KCPU, x *cpu.Exec) { x.Instr(100, 0, 0) },
+		Effect: func(c *KCPU) { c.RaiseSoftirq(SoftirqNetRx) },
+	})
+	p := r.proc("crit", perf.BinOther)
+	r.k.Spawn("t", 0, 0, func(e *Env) {
+		l.Lock(e)
+		// IRQ arrives mid-critical-section; its softirq must wait.
+		for i := 0; i < 10; i++ {
+			e.Run(p, func(x *cpu.Exec) { x.Instr(50_000, 0, 0) })
+		}
+		l.Unlock(e)
+		unlockAt = r.eng.Now()
+		e.Run(p, func(x *cpu.Exec) { x.Instr(1000, 0, 0) })
+	})
+	r.eng.At(100_000, func() { r.k.APIC.Raise(0x1c) })
+	r.eng.Run(100_000_000)
+	if softAt == 0 {
+		t.Fatal("softirq never ran")
+	}
+	if softAt < unlockAt {
+		t.Fatalf("softirq ran at %d inside critical section ending %d", softAt, unlockAt)
+	}
+}
+
+func TestTimerFiresInSoftirqContext(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	var firedAt sim.Time
+	var inSoftirq bool
+	tm := r.k.NewTimer(func(env *Env) {
+		firedAt = r.eng.Now()
+		inSoftirq = env.InSoftirq()
+	})
+	r.k.ModTimer(tm, 30_000_000)
+	r.eng.Run(200_000_000)
+	if firedAt == 0 {
+		t.Fatal("timer never fired")
+	}
+	if firedAt < 30_000_000 {
+		t.Fatalf("timer fired early at %d", firedAt)
+	}
+	if !inSoftirq {
+		t.Fatal("timer handler not in softirq context")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still armed")
+	}
+}
+
+func TestDelTimerPreventsFiring(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	fired := false
+	tm := r.k.NewTimer(func(env *Env) { fired = true })
+	r.k.ModTimer(tm, 30_000_000)
+	r.k.DelTimer(tm)
+	if r.k.ArmedTimers() != 0 {
+		t.Fatal("timer still armed after DelTimer")
+	}
+	r.eng.Run(100_000_000)
+	if fired {
+		t.Fatal("deleted timer fired")
+	}
+}
+
+func TestQuantumPreemptionRoundRobins(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	p := r.proc("spin_forever", perf.BinOther)
+	progress := map[string]int{}
+	mk := func(name string) {
+		r.k.Spawn(name, 0, 0, func(e *Env) {
+			for i := 0; i < 10_000; i++ {
+				e.Run(p, func(x *cpu.Exec) { x.Instr(100_000, 0, 0) })
+				progress[name]++
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	// Run long enough for ~3 quanta.
+	r.eng.Run(sim.Time(3*r.k.Tune.QuantumCycles + 10_000_000))
+	if progress["a"] == 0 || progress["b"] == 0 {
+		t.Fatalf("no round robin: %v", progress)
+	}
+}
+
+func TestSetAffinityRestrictsPlacement(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	wq := NewWaitQueue("wq")
+	var cpus []int
+	var stop bool
+	p := r.proc("aff", perf.BinOther)
+	st := r.k.Spawn("pinned", 0, 1<<1, func(e *Env) {
+		for !stop {
+			e.Run(p, func(x *cpu.Exec) { x.Instr(1000, 0, 0) })
+			cpus = append(cpus, e.CPU().ID())
+			e.Sleep(wq)
+		}
+	})
+	// Periodic waker from CPU0.
+	var wakeLoop func()
+	n := 0
+	wakeLoop = func() {
+		n++
+		if n > 20 {
+			stop = true
+		}
+		r.k.Wake(st, nil)
+		if n <= 20 {
+			r.eng.After(1_000_000, wakeLoop)
+		}
+	}
+	r.eng.After(500_000, wakeLoop)
+	r.eng.Run(100_000_000)
+	if len(cpus) == 0 {
+		t.Fatal("pinned task never ran")
+	}
+	for _, c := range cpus {
+		if c != 1 {
+			t.Fatalf("pinned task ran on CPU %d", c)
+		}
+	}
+}
+
+func TestSpawnHonoursAffinityOverStartCPU(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	var ran int
+	ranOn := -1
+	p := r.proc("x", perf.BinOther)
+	r.k.Spawn("t", 0, 1<<1, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(10, 0, 0) })
+		ran++
+		ranOn = e.CPU().ID()
+	})
+	r.eng.Run(10_000_000)
+	if ran != 1 || ranOn != 1 {
+		t.Fatalf("ran=%d on cpu %d, want on cpu 1", ran, ranOn)
+	}
+}
+
+func TestIdleAccountingAndUtil(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	p := r.proc("w", perf.BinOther)
+	r.k.Spawn("t", 0, 1<<0, func(e *Env) {
+		e.Run(p, func(x *cpu.Exec) { x.Instr(2_000_000, 0, 0) })
+	})
+	r.eng.Run(10_000_000)
+	idle0 := r.k.CPUs[0].IdleCycles()
+	idle1 := r.k.CPUs[1].IdleCycles()
+	if idle1 < 9_900_000 {
+		t.Fatalf("CPU1 idle = %d, want ≈10M (never ran anything)", idle1)
+	}
+	if idle0 >= idle1 {
+		t.Fatalf("CPU0 idle (%d) should be less than CPU1 (%d)", idle0, idle1)
+	}
+	u := CPUUtil(10_000_000, idle0)
+	if u <= 0 || u >= 1 {
+		t.Fatalf("util = %v, want in (0,1)", u)
+	}
+	if CPUUtil(0, 0) != 0 {
+		t.Fatal("util of empty interval should be 0")
+	}
+}
+
+func TestBalancePullsFromOverloadedCPU(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	r.k.StartTicks()
+	p := r.proc("w", perf.BinOther)
+	perCPU := map[int]int{}
+	for i := 0; i < 4; i++ {
+		r.k.Spawn("t", 0, 0, func(e *Env) {
+			for j := 0; j < 50; j++ {
+				e.Run(p, func(x *cpu.Exec) { x.Instr(500_000, 0, 0) })
+				perCPU[e.CPU().ID()]++
+			}
+		})
+	}
+	r.eng.Run(2_000_000_000)
+	if perCPU[1] == 0 {
+		t.Fatalf("all work stayed on CPU0: %v (idle steal/balance broken)", perCPU)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() uint64 {
+		eng := sim.NewEngine(99)
+		tab := perf.NewSymbolTable()
+		ctr := perf.NewCounters(tab, 2)
+		k := New(Config{
+			Engine: eng, Space: mem.NewSpace(), Table: tab, Ctr: ctr,
+			NumCPUs: 2, CPU: cpu.DefaultConfig(), Tune: DefaultTuning(),
+		})
+		defer k.Shutdown()
+		k.StartTicks()
+		p := k.NewProc("w", perf.BinOther, 512)
+		wq := NewWaitQueue("wq")
+		for i := 0; i < 4; i++ {
+			k.Spawn("t", i%2, 0, func(e *Env) {
+				for j := 0; j < 30; j++ {
+					e.Run(p, func(x *cpu.Exec) { x.Instr(100_000, 0.15, 0.02) })
+					if j%3 == 0 {
+						wq.WakeAll(k, e)
+						e.Yield()
+					}
+				}
+			})
+		}
+		eng.Run(1_000_000_000)
+		return ctr.Total(perf.Cycles) + ctr.Total(perf.BranchMispredicts)*1_000_003
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed kernel runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestRotatePolicyDistributesHandlers(t *testing.T) {
+	r := newKernel(t, 2, 1)
+	hp := r.k.NewProc("IRQ0x1d_interrupt", perf.BinDriver, 512)
+	r.k.RegisterIRQ(0x1d, &IRQAction{
+		Proc:  hp,
+		Build: func(c *KCPU, x *cpu.Exec) { x.Instr(100, 0, 0) },
+	})
+	r.k.APIC.SetPolicy(apic.PolicyRotate)
+	r.k.APIC.RotatePeriod = 5
+	for i := 0; i < 20; i++ {
+		d := uint64(i+1) * 10_000
+		r.eng.At(sim.Time(d), func() { r.k.APIC.Raise(0x1d) })
+	}
+	r.eng.Run(100_000_000)
+	c0 := r.ctr.Get(0, hp.Sym, perf.IRQsReceived)
+	c1 := r.ctr.Get(1, hp.Sym, perf.IRQsReceived)
+	if c0 != 10 || c1 != 10 {
+		t.Fatalf("rotate split %d/%d, want 10/10", c0, c1)
+	}
+}

@@ -1,0 +1,124 @@
+package kern
+
+import (
+	"container/heap"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Timer is a kernel timer (add_timer/mod_timer/del_timer). TCP arms one
+// retransmit timer per flight and a delayed-ACK timer; in the paper's
+// loss-free bulk workload they are armed and disarmed constantly but
+// almost never fire — the arming itself is the Timers-bin cost.
+type Timer struct {
+	expires sim.Time
+	fn      func(env *Env)
+	idx     int // heap index, -1 when inactive
+	seq     uint64
+}
+
+// Active reports whether the timer is armed.
+func (t *Timer) Active() bool { return t.idx >= 0 }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].expires != h[j].expires {
+		return h[i].expires < h[j].expires
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}
+
+type timerWheel struct {
+	heap timerHeap
+	seq  uint64
+	// expired timers awaiting their softirq pass, per CPU.
+	pending map[int][]*Timer
+}
+
+func newTimerWheel() *timerWheel {
+	return &timerWheel{pending: make(map[int][]*Timer)}
+}
+
+// NewTimer creates an inactive timer with handler fn. The handler runs in
+// softirq context on whichever processor's tick expires it.
+func (k *Kernel) NewTimer(fn func(env *Env)) *Timer {
+	return &Timer{fn: fn, idx: -1}
+}
+
+// ModTimer (re)arms t to fire at expires.
+func (k *Kernel) ModTimer(t *Timer, expires sim.Time) {
+	w := k.timers
+	t.expires = expires
+	if t.idx >= 0 {
+		heap.Fix(&w.heap, t.idx)
+		return
+	}
+	w.seq++
+	t.seq = w.seq
+	heap.Push(&w.heap, t)
+}
+
+// DelTimer disarms t if armed.
+func (k *Kernel) DelTimer(t *Timer) {
+	if t.idx >= 0 {
+		heap.Remove(&k.timers.heap, t.idx)
+	}
+}
+
+// ArmedTimers reports how many timers are armed (tests).
+func (k *Kernel) ArmedTimers() int { return k.timers.heap.Len() }
+
+// expireTimers moves due timers to c's pending list and raises the timer
+// softirq there, mirroring 2.4's "timers run as a bottom half on the CPU
+// that took the tick".
+func (k *Kernel) expireTimers(c *KCPU) {
+	w := k.timers
+	now := k.Eng.Now()
+	moved := false
+	for w.heap.Len() > 0 && w.heap[0].expires <= now {
+		t := heap.Pop(&w.heap).(*Timer)
+		w.pending[c.id] = append(w.pending[c.id], t)
+		moved = true
+	}
+	if moved {
+		c.RaiseSoftirq(SoftirqTimer)
+	}
+}
+
+// runTimers is the TIMER softirq handler: it charges the dispatch cost
+// and invokes each expired handler in softirq context.
+func (k *Kernel) runTimers(env *Env) {
+	c := env.cpu
+	pend := k.timers.pending[c.id]
+	k.timers.pending[c.id] = nil
+	for _, t := range pend {
+		env.Run(k.procTimerRun, func(x *cpu.Exec) {
+			x.Instr(150, 0.2, 0.03)
+		})
+		if t.fn != nil {
+			t.fn(env)
+		}
+	}
+}

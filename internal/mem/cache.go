@@ -1,0 +1,147 @@
+package mem
+
+import "fmt"
+
+// CacheCfg sizes one cache level.
+type CacheCfg struct {
+	Name     string
+	Size     int // total bytes
+	Ways     int // associativity
+	LineSize int // bytes per line; must currently equal LineSize
+}
+
+// P4XeonMP returns the cache geometry of the paper's system under test:
+// 8 KB L1D, 512 KB L2 and 2 MB L3 per processor (Gallatin-class Xeon MP).
+func P4XeonMP() (l1, l2, llc CacheCfg) {
+	l1 = CacheCfg{Name: "L1D", Size: 8 << 10, Ways: 4, LineSize: LineSize}
+	l2 = CacheCfg{Name: "L2", Size: 512 << 10, Ways: 8, LineSize: LineSize}
+	llc = CacheCfg{Name: "L3", Size: 2 << 20, Ways: 8, LineSize: LineSize}
+	return l1, l2, llc
+}
+
+// TraceCacheCfg returns the geometry used to model the P4 trace cache
+// (12K µops ≈ 16 KB of decoded instruction bytes in this model).
+func TraceCacheCfg() CacheCfg {
+	return CacheCfg{Name: "TC", Size: 16 << 10, Ways: 8, LineSize: LineSize}
+}
+
+type cacheLine struct {
+	tag   Addr // line-aligned address
+	valid bool
+	lru   uint64
+}
+
+// Cache is one set-associative, LRU cache level. It tracks only presence
+// (tags); dirtiness and cross-CPU validity live in the coherence
+// Directory so invalidation can be lazy.
+type Cache struct {
+	cfg     CacheCfg
+	sets    [][]cacheLine
+	mask    Addr
+	tick    uint64
+	hits    uint64
+	lookups uint64
+}
+
+// NewCache builds an empty cache. It panics on degenerate geometry.
+func NewCache(cfg CacheCfg) *Cache {
+	if cfg.LineSize != LineSize {
+		panic(fmt.Sprintf("mem: cache %q line size %d unsupported", cfg.Name, cfg.LineSize))
+	}
+	nLines := cfg.Size / cfg.LineSize
+	if cfg.Ways <= 0 || nLines <= 0 || nLines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("mem: cache %q bad geometry size=%d ways=%d", cfg.Name, cfg.Size, cfg.Ways))
+	}
+	nSets := nLines / cfg.Ways
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %q set count %d not a power of two", cfg.Name, nSets))
+	}
+	sets := make([][]cacheLine, nSets)
+	backing := make([]cacheLine, nLines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, mask: Addr(nSets - 1)}
+}
+
+// Cfg returns the cache's geometry.
+func (c *Cache) Cfg() CacheCfg { return c.cfg }
+
+func (c *Cache) set(line Addr) []cacheLine {
+	return c.sets[(line>>LineShift)&c.mask]
+}
+
+// Lookup reports whether the line-aligned address is present, updating
+// LRU on hit.
+func (c *Cache) Lookup(line Addr) bool {
+	c.lookups++
+	c.tick++
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = c.tick
+			c.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line, evicting the LRU way if necessary. It returns
+// the evicted line address and true if a valid line was displaced.
+func (c *Cache) Fill(line Addr) (evicted Addr, wasValid bool) {
+	c.tick++
+	set := c.set(line)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			// Already present (e.g. refill after a lazy invalidation):
+			// refresh recency only.
+			set[i].lru = c.tick
+			return 0, false
+		}
+		if !set[i].valid {
+			victim = i
+			wasValid = false
+			// Prefer an invalid way, but keep scanning for an existing
+			// copy of the line.
+			continue
+		}
+		if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		evicted, wasValid = set[victim].tag, true
+	}
+	set[victim] = cacheLine{tag: line, valid: true, lru: c.tick}
+	return evicted, wasValid
+}
+
+// Invalidate drops the line if present.
+func (c *Cache) Invalidate(line Addr) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].valid = false
+			return
+		}
+	}
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// HitRate reports lifetime hits/lookups, for diagnostics and tests.
+func (c *Cache) HitRate() float64 {
+	if c.lookups == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.lookups)
+}

@@ -1,0 +1,84 @@
+package mem
+
+// TLB models one translation-lookaside buffer as a fully-associative,
+// LRU-replaced set of page entries. The P4-era parts had 64-entry
+// instruction and data TLBs and no address-space identifiers, so a
+// context switch to a different address space flushes everything — one of
+// the costs process migration and interrupt intrusion impose.
+type TLB struct {
+	capacity int
+	tick     uint64
+	entries  map[Addr]uint64 // page address -> last-use tick
+	hits     uint64
+	lookups  uint64
+}
+
+// NewTLB returns an empty TLB holding capacity entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("mem: TLB capacity must be positive")
+	}
+	return &TLB{capacity: capacity, entries: make(map[Addr]uint64, capacity)}
+}
+
+// Access translates the page containing addr. It reports false on a miss
+// (a page walk), installing the entry.
+func (t *TLB) Access(addr Addr) bool {
+	page := PageOf(addr)
+	t.tick++
+	t.lookups++
+	if _, ok := t.entries[page]; ok {
+		t.entries[page] = t.tick
+		t.hits++
+		return true
+	}
+	if len(t.entries) >= t.capacity {
+		var victim Addr
+		oldest := t.tick + 1
+		for p, use := range t.entries {
+			if use < oldest {
+				oldest = use
+				victim = p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[page] = t.tick
+	return false
+}
+
+// AccessRange translates every page in [addr, addr+size) and returns the
+// number of walks (misses).
+func (t *TLB) AccessRange(addr Addr, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	walks := 0
+	first := PageOf(addr)
+	last := PageOf(addr + Addr(size) - 1)
+	for page := first; ; page += PageSize {
+		if !t.Access(page) {
+			walks++
+		}
+		if page == last {
+			break
+		}
+	}
+	return walks
+}
+
+// Flush empties the TLB (address-space switch).
+func (t *TLB) Flush() {
+	clear(t.entries)
+}
+
+// Len reports the number of live entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// HitRate reports lifetime hits/lookups.
+func (t *TLB) HitRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.lookups)
+}

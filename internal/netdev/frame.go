@@ -1,0 +1,82 @@
+// Package netdev models the network devices of the system under test:
+// eight server-class gigabit NICs (Intel PRO/1000 MT in the paper) with
+// transmit/receive descriptor rings, DMA that interacts with the cache
+// coherence directory (receive DMA invalidates CPU copies — which is why
+// "data copies is always uncached on the receive side", §6.1), interrupt
+// generation with a small coalescing window, and the driver code that the
+// paper's Driver bin profiles: per-vector top halves (IRQ0xNN_interrupt)
+// plus ring cleaning and the softnet receive action.
+package netdev
+
+import (
+	"repro/internal/mem"
+)
+
+// Flags mark TCP-relevant properties of a wire frame; netdev itself only
+// sizes and routes frames, the stack interprets them.
+type Flags uint8
+
+const (
+	// FlagAck marks a pure or piggybacked acknowledgment.
+	FlagAck Flags = 1 << iota
+	// FlagPsh marks a data push.
+	FlagPsh
+	// FlagSyn marks connection setup.
+	FlagSyn
+	// FlagFin marks connection teardown.
+	FlagFin
+)
+
+// WireFrame is what travels on a link. Header fields are plain values —
+// the remote clients are ideal traffic endpoints whose memory is not
+// simulated — while payload bytes on the SUT side live at real simulated
+// addresses (DataAddr) so DMA has cache effects.
+type WireFrame struct {
+	// Conn identifies the TCP connection (one per NIC in the paper's
+	// setup).
+	Conn int
+	// Seq is the first payload byte's sequence number.
+	Seq uint64
+	// Ack is the cumulative acknowledgment carried by the frame.
+	Ack uint64
+	// Window is the advertised receive window in bytes.
+	Window int
+	// Len is the payload length in bytes (0 for a pure ACK).
+	Len int
+	// Flags carries the TCP-ish flag bits.
+	Flags Flags
+}
+
+// WireBytes reports the frame's size on the wire: payload plus the
+// Ethernet+IP+TCP header overhead.
+func (f *WireFrame) WireBytes() int {
+	const headers = 14 + 20 + 20 + 12 // eth + ip + tcp + timestamp option
+	return f.Len + headers
+}
+
+// TxReq is a transmit request handed to a NIC by the driver: the wire
+// frame plus the simulated buffer the payload occupies (DMA-read at
+// serialization time) and an opaque cookie returned at completion so the
+// stack can free its clone.
+type TxReq struct {
+	Frame  WireFrame
+	Data   mem.Addr // payload buffer; 0 for pure ACKs carrying no data
+	Cookie any
+}
+
+// RxPacket is a received frame after DMA: the wire frame plus the receive
+// buffer it was placed in and the driver cookie of that buffer.
+type RxPacket struct {
+	Frame  WireFrame
+	Data   mem.Addr
+	Cookie any
+	NIC    int
+}
+
+// Peer is the far end of a NIC's link: an ideal client machine. The NIC
+// calls ToPeer when a transmitted frame finishes serializing; the peer
+// calls NIC.InjectFromWire to send toward the SUT.
+type Peer interface {
+	// ToPeer delivers a frame that left the SUT.
+	ToPeer(f WireFrame)
+}

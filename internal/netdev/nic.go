@@ -1,0 +1,482 @@
+package netdev
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// descBytes is the size of one DMA descriptor.
+const descBytes = 16
+
+// NICConfig sizes one device.
+type NICConfig struct {
+	// Vector is the interrupt line (paper numbering: 0x19, 0x1a, …).
+	Vector apic.Vector
+	// LinkBps is the link speed; the paper's NICs are 1 Gb/s.
+	LinkBps uint64
+	// TxRing and RxRing are the descriptor ring sizes.
+	TxRing, RxRing int
+	// CoalesceCycles is the minimum gap between interrupts from this
+	// device (interrupt throttling).
+	CoalesceCycles uint64
+	// WireLatencyCycles is the one-way propagation+switch latency.
+	WireLatencyCycles uint64
+	// LossRate drops this fraction of frames on the wire (both
+	// directions), deterministically from the engine's random stream.
+	// The paper's LAN is loss-free; this exercises the retransmission
+	// machinery and affinity behaviour under degraded links.
+	LossRate float64
+	// NAPI enables 2.6-style interrupt mitigation: the top half masks
+	// the device and the softirq polls the rings until they drain, so
+	// sustained load runs nearly interrupt-free. The paper's 2.4 driver
+	// interrupts per packet; this is the modern comparison point.
+	NAPI bool
+	// QueueVectors enables receive-side scaling — the paper's §8 future
+	// work ("adapters that ... extract flow information ... and direct
+	// connections and interrupts, dynamically, to a specific
+	// processor"). Each entry is one RSS queue's interrupt vector; the
+	// NIC hashes the connection to a queue, and the kernel routes each
+	// queue's vector to its own processor. Empty = single-queue device
+	// on Vector.
+	QueueVectors []apic.Vector
+}
+
+// DefaultNICConfig returns a PRO/1000-class device on the given vector.
+func DefaultNICConfig(vec apic.Vector) NICConfig {
+	return NICConfig{
+		Vector:  vec,
+		LinkBps: 1_000_000_000,
+		TxRing:  256,
+		RxRing:  256,
+		// The PRO/1000 drivers of the paper's era defaulted RxIntDelay to
+		// zero (interrupt per packet); a 1 µs window only merges true
+		// back-to-back completions.
+		CoalesceCycles:    2_000,
+		WireLatencyCycles: 20_000,
+	}
+}
+
+// NIC is one simulated gigabit adapter.
+type NIC struct {
+	d   *Driver
+	id  int
+	cfg NICConfig
+
+	procISR kern.Proc
+	// regsAddr stands in for the MMIO register block; accesses to it are
+	// modelled as uncached bus transactions, never cache fills.
+	regsAddr mem.Addr
+
+	txRing *txRing
+	// queues holds one receive ring + interrupt state per RSS queue;
+	// single-queue devices have exactly one.
+	queues []*rxQueue
+	txLock *kern.SpinLock
+	txWait *kern.WaitQueue
+
+	peer Peer
+
+	txBusyUntil sim.Time
+	rxBusyUntil sim.Time
+	txActive    bool
+
+	// Stats.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	RxDropped          uint64
+	// WireDrops counts frames lost on the link (LossRate).
+	WireDrops  uint64
+	IRQsRaised uint64
+}
+
+// rxQueue is one RSS queue: its ring, interrupt vector and per-queue
+// interrupt state.
+type rxQueue struct {
+	index   int
+	vec     apic.Vector
+	ring    *rxRing
+	procISR kern.Proc
+
+	lastIRQ    sim.Time
+	irqPending bool
+	// masked suppresses interrupt generation while the NAPI poll owns
+	// the queue.
+	masked bool
+}
+
+func newNIC(d *Driver, id int, cfg NICConfig) *NIC {
+	if cfg.LinkBps == 0 || cfg.TxRing <= 0 || cfg.RxRing <= 0 {
+		panic(fmt.Sprintf("netdev: bad NIC config %+v", cfg))
+	}
+	k := d.k
+	n := &NIC{
+		d:        d,
+		id:       id,
+		cfg:      cfg,
+		regsAddr: k.Space.AllocPage(4096, fmt.Sprintf("nic%d_regs", id)),
+		txLock:   k.NewSpinLock(fmt.Sprintf("nic%d_tx", id)),
+		txWait:   kern.NewWaitQueue(fmt.Sprintf("nic%d_txwait", id)),
+	}
+	n.txRing = newTxRing(cfg.TxRing, k.Space.AllocPage(cfg.TxRing*descBytes, fmt.Sprintf("nic%d_txdesc", id)))
+	vectors := cfg.QueueVectors
+	if len(vectors) == 0 {
+		vectors = []apic.Vector{cfg.Vector}
+	}
+	for qi, vec := range vectors {
+		name := fmt.Sprintf("IRQ%#x_interrupt", int(vec))
+		q := &rxQueue{
+			index:   qi,
+			vec:     vec,
+			procISR: k.NewProc(name, perf.BinDriver, 768),
+			ring: newRxRing(cfg.RxRing,
+				k.Space.AllocPage(cfg.RxRing*descBytes, fmt.Sprintf("nic%d_q%d_rxdesc", id, qi))),
+		}
+		n.queues = append(n.queues, q)
+	}
+	n.procISR = n.queues[0].procISR
+	return n
+}
+
+// Queues reports the number of RSS queues (1 for a classic device).
+func (n *NIC) Queues() int { return len(n.queues) }
+
+// queueFor hashes a connection to a queue (Toeplitz stand-in).
+func (n *NIC) queueFor(conn int) *rxQueue {
+	return n.queues[conn%len(n.queues)]
+}
+
+// ID reports the device number.
+func (n *NIC) ID() int { return n.id }
+
+// Vector reports the device's interrupt line.
+func (n *NIC) Vector() apic.Vector { return n.cfg.Vector }
+
+// SetPeer attaches the far end of the link.
+func (n *NIC) SetPeer(p Peer) { n.peer = p }
+
+// SetLossRate changes the link's frame-loss probability at runtime.
+func (n *NIC) SetLossRate(p float64) { n.cfg.LossRate = p }
+
+// SetCoalesce changes the interrupt-throttle window at runtime
+// (ethtool-style tuning).
+func (n *NIC) SetCoalesce(cycles uint64) { n.cfg.CoalesceCycles = cycles }
+
+// PrimeRx posts initial receive buffers into the ring(s) at machine
+// setup (outside measured time), striped across RSS queues. The stack
+// supplies pool buffers.
+func (n *NIC) PrimeRx(bufs []mem.Addr, cookies []any) {
+	if len(bufs) != len(cookies) {
+		panic("netdev: PrimeRx length mismatch")
+	}
+	for i := range bufs {
+		n.queues[i%len(n.queues)].ring.post(bufs[i], cookies[i])
+	}
+}
+
+// RxPosted reports how many receive buffers are currently posted across
+// all queues.
+func (n *NIC) RxPosted() int {
+	total := 0
+	for _, q := range n.queues {
+		total += q.ring.posted()
+	}
+	return total
+}
+
+func (n *NIC) eng() *sim.Engine { return n.d.k.Eng }
+
+// serialCycles converts a wire size to link occupancy in CPU cycles.
+func (n *NIC) serialCycles(wireBytes int) sim.Cycles {
+	bits := uint64(wireBytes) * 8
+	// cycles = bits * clockHz / linkBps
+	clock := n.d.k.CPUs[0].Model.Config().ClockHz
+	return bits * clock / n.cfg.LinkBps
+}
+
+// kickTransmit starts the transmit engine if idle.
+func (n *NIC) kickTransmit() {
+	if n.txActive {
+		return
+	}
+	n.txActive = true
+	n.transmitNext()
+}
+
+func (n *NIC) transmitNext() {
+	req, ok := n.txRing.popQueued()
+	if !ok {
+		n.txActive = false
+		return
+	}
+	eng := n.eng()
+	start := eng.Now()
+	if n.txBusyUntil > start {
+		start = n.txBusyUntil
+	}
+	done := start + sim.Time(n.serialCycles(req.Frame.WireBytes()))
+	n.txBusyUntil = done
+	eng.At(done, func() {
+		// Transmit DMA: flush any dirty CPU copies of the payload.
+		if req.Data != 0 && req.Frame.Len > 0 {
+			first := mem.LineOf(req.Data)
+			last := mem.LineOf(req.Data + mem.Addr(req.Frame.Len) - 1)
+			for line := first; ; line += mem.LineSize {
+				n.d.k.Dir.DMARead(line)
+				if line == last {
+					break
+				}
+			}
+		}
+		n.txRing.markDone(req)
+		n.TxFrames++
+		n.TxBytes += uint64(req.Frame.Len)
+		if n.peer != nil && !eng.RNG().Bernoulli(n.cfg.LossRate) {
+			f := req.Frame
+			eng.After(n.cfg.WireLatencyCycles, func() { n.peer.ToPeer(f) })
+		} else if n.peer != nil {
+			n.WireDrops++
+		}
+		n.maybeRaiseIRQ(n.queues[0])
+		n.transmitNext()
+	})
+}
+
+// InjectFromWire is called by the peer to send a frame toward the SUT.
+// The frame serializes on the link, DMAs into a posted receive buffer
+// (invalidating any CPU copies of those lines) and eventually raises the
+// device interrupt.
+func (n *NIC) InjectFromWire(f WireFrame) {
+	eng := n.eng()
+	start := eng.Now()
+	if n.rxBusyUntil > start {
+		start = n.rxBusyUntil
+	}
+	done := start + sim.Time(n.serialCycles(f.WireBytes()))
+	n.rxBusyUntil = done
+	if eng.RNG().Bernoulli(n.cfg.LossRate) {
+		n.WireDrops++
+		return
+	}
+	q := n.queueFor(f.Conn)
+	eng.At(done, func() {
+		slot, ok := q.ring.fill(f)
+		if !ok {
+			n.RxDropped++
+			return
+		}
+		// Receive DMA: descriptor and payload lines now live in memory
+		// only; the first CPU touch of each is necessarily a miss.
+		n.d.k.Dir.DMAWrite(mem.LineOf(slot.descAddr))
+		if f.Len > 0 {
+			first := mem.LineOf(slot.buf)
+			last := mem.LineOf(slot.buf + mem.Addr(f.Len) - 1)
+			for line := first; ; line += mem.LineSize {
+				n.d.k.Dir.DMAWrite(line)
+				if line == last {
+					break
+				}
+			}
+		}
+		n.RxFrames++
+		n.RxBytes += uint64(f.Len)
+		n.maybeRaiseIRQ(q)
+	})
+}
+
+// RxBusyUntil reports when the inbound link side frees up; peers use it
+// to pace their sends to link rate.
+func (n *NIC) RxBusyUntil() sim.Time { return n.rxBusyUntil }
+
+// maybeRaiseIRQ raises a queue's interrupt, honouring the coalescing
+// window. One interrupt serves all of that queue's pending work.
+func (n *NIC) maybeRaiseIRQ(q *rxQueue) {
+	if q.irqPending || q.masked {
+		return
+	}
+	eng := n.eng()
+	q.irqPending = true
+	gap := sim.Time(n.cfg.CoalesceCycles)
+	if q.lastIRQ == 0 || eng.Now() >= q.lastIRQ+gap {
+		n.raiseNow(q)
+		return
+	}
+	eng.At(q.lastIRQ+gap, func() { n.raiseNow(q) })
+}
+
+func (n *NIC) raiseNow(q *rxQueue) {
+	q.lastIRQ = n.eng().Now()
+	n.IRQsRaised++
+	n.d.k.APIC.Raise(q.vec)
+}
+
+// rxDrained is called by the softirq when the ring is empty. Under NAPI
+// the poll re-enables the device interrupt here and re-arms if frames
+// slipped in during the final check (the classic NAPI race close).
+func (n *NIC) rxDrained(env *kern.Env, q *rxQueue) {
+	if !n.cfg.NAPI {
+		return
+	}
+	if q.ring.pendingClean() > 0 || (q.index == 0 && n.txRing.pendingClean() > 0) {
+		// Work remains (either the other softirq's share, or frames that
+		// arrived while polling): stay masked and stay on the poll list.
+		n.d.repoll(env.CPU(), n, q)
+		return
+	}
+	q.masked = false
+}
+
+// Masked reports whether the device's (first queue's) interrupts are
+// masked (NAPI poll in progress).
+func (n *NIC) Masked() bool { return n.queues[0].masked }
+
+// SetNAPI toggles NAPI mode at runtime.
+func (n *NIC) SetNAPI(on bool) { n.cfg.NAPI = on }
+
+// --- descriptor rings ---
+
+type txEntry struct {
+	req      TxReq
+	descAddr mem.Addr
+}
+
+type txSlot struct {
+	index    int
+	descAddr mem.Addr
+}
+
+// txRing is the transmit descriptor ring: reserve → commit → (wire) →
+// done → clean/release.
+type txRing struct {
+	capacity  int
+	descBase  mem.Addr
+	seq       int
+	inUse     int
+	queued    []txEntry
+	doneStage []txEntry // on the wire
+	done      []txEntry
+}
+
+func newTxRing(capacity int, descBase mem.Addr) *txRing {
+	return &txRing{capacity: capacity, descBase: descBase}
+}
+
+func (r *txRing) free() int { return r.capacity - r.inUse }
+
+func (r *txRing) reserve() (txSlot, bool) {
+	if r.inUse >= r.capacity {
+		return txSlot{}, false
+	}
+	idx := r.seq % r.capacity
+	r.seq++
+	r.inUse++
+	return txSlot{index: idx, descAddr: r.descBase + mem.Addr(idx*descBytes)}, true
+}
+
+func (r *txRing) commit(index int, req TxReq) {
+	r.queued = append(r.queued, txEntry{req: req, descAddr: r.descBase + mem.Addr(index*descBytes)})
+}
+
+func (r *txRing) popQueued() (TxReq, bool) {
+	if len(r.queued) == 0 {
+		return TxReq{}, false
+	}
+	e := r.queued[0]
+	r.queued = r.queued[1:]
+	r.doneStage = append(r.doneStage, e)
+	return e.req, true
+}
+
+// markDone moves the oldest in-flight frame to the clean list. The
+// transmit engine is strictly serial, so FIFO order is exact.
+func (r *txRing) markDone(TxReq) {
+	e := r.doneStage[0]
+	r.doneStage = r.doneStage[1:]
+	r.done = append(r.done, e)
+}
+
+func (r *txRing) pendingClean() int { return len(r.done) }
+
+type txCleanSlot struct {
+	index    int
+	descAddr mem.Addr
+	cookie   any
+}
+
+func (r *txRing) nextClean() (txCleanSlot, bool) {
+	if len(r.done) == 0 {
+		return txCleanSlot{}, false
+	}
+	e := r.done[0]
+	r.done = r.done[1:]
+	return txCleanSlot{descAddr: e.descAddr, cookie: e.req.Cookie}, true
+}
+
+func (r *txRing) release(int) { r.inUse-- }
+
+type rxSlot struct {
+	index    int
+	descAddr mem.Addr
+	buf      mem.Addr
+	cookie   any
+	frame    WireFrame
+}
+
+// rxRing is the receive descriptor ring: post/refill → DMA fill → clean.
+type rxRing struct {
+	capacity int
+	descBase mem.Addr
+	seq      int
+	free     []rxSlot
+	filled   []rxSlot
+}
+
+func newRxRing(capacity int, descBase mem.Addr) *rxRing {
+	return &rxRing{capacity: capacity, descBase: descBase}
+}
+
+func (r *rxRing) posted() int { return len(r.free) }
+
+func (r *rxRing) post(buf mem.Addr, cookie any) {
+	if len(r.free)+len(r.filled) >= r.capacity {
+		panic("netdev: rx ring over-posted")
+	}
+	idx := r.seq % r.capacity
+	r.seq++
+	r.free = append(r.free, rxSlot{
+		index:    idx,
+		descAddr: r.descBase + mem.Addr(idx*descBytes),
+		buf:      buf,
+		cookie:   cookie,
+	})
+}
+
+func (r *rxRing) refill(index int, buf mem.Addr, cookie any) {
+	r.post(buf, cookie)
+}
+
+func (r *rxRing) fill(f WireFrame) (rxSlot, bool) {
+	if len(r.free) == 0 {
+		return rxSlot{}, false
+	}
+	s := r.free[0]
+	r.free = r.free[1:]
+	s.frame = f
+	r.filled = append(r.filled, s)
+	return s, true
+}
+
+func (r *rxRing) pendingClean() int { return len(r.filled) }
+
+func (r *rxRing) nextClean() (rxSlot, bool) {
+	if len(r.filled) == 0 {
+		return rxSlot{}, false
+	}
+	s := r.filled[0]
+	r.filled = r.filled[1:]
+	return s, true
+}

@@ -1,0 +1,153 @@
+package perf
+
+import "fmt"
+
+// Counters is the machine-wide PMU counter file: one uint64 per
+// (CPU, symbol, event) triple. The hot path is Add, which is a single
+// indexed increment into a flat slice.
+//
+// The symbol index is the major dimension, so the file grows in place as
+// machine construction registers more procedures.
+type Counters struct {
+	table *SymbolTable
+	cpus  int
+	// counts is indexed [sym*stride + cpu*NumEvents + event].
+	counts []uint64
+	stride int // cpus * NumEvents
+}
+
+// NewCounters returns a zeroed counter file for cpus processors over the
+// symbols registered in table (now or later).
+func NewCounters(table *SymbolTable, cpus int) *Counters {
+	if cpus <= 0 {
+		panic("perf: NewCounters with no CPUs")
+	}
+	c := &Counters{table: table, cpus: cpus, stride: cpus * int(NumEvents)}
+	c.ensure()
+	return c
+}
+
+// ensure grows the backing store to cover every registered symbol.
+func (c *Counters) ensure() {
+	need := c.table.Len() * c.stride
+	if need > len(c.counts) {
+		grown := make([]uint64, need)
+		copy(grown, c.counts)
+		c.counts = grown
+	}
+}
+
+// CPUs reports the number of processors the file covers.
+func (c *Counters) CPUs() int { return c.cpus }
+
+// Table returns the symbol table the counters are indexed by.
+func (c *Counters) Table() *SymbolTable { return c.table }
+
+func (c *Counters) idx(cpu int, sym Symbol, ev Event) int {
+	return int(sym)*c.stride + cpu*int(NumEvents) + int(ev)
+}
+
+// Add increments the (cpu, sym, ev) counter by n.
+func (c *Counters) Add(cpu int, sym Symbol, ev Event, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := c.idx(cpu, sym, ev)
+	if i >= len(c.counts) {
+		c.ensure()
+	}
+	c.counts[i] += n
+}
+
+// Get reads the (cpu, sym, ev) counter.
+func (c *Counters) Get(cpu int, sym Symbol, ev Event) uint64 {
+	i := c.idx(cpu, sym, ev)
+	if i >= len(c.counts) {
+		return 0
+	}
+	return c.counts[i]
+}
+
+// SymbolTotal sums ev over all CPUs for one symbol.
+func (c *Counters) SymbolTotal(sym Symbol, ev Event) uint64 {
+	var t uint64
+	for cpu := 0; cpu < c.cpus; cpu++ {
+		t += c.Get(cpu, sym, ev)
+	}
+	return t
+}
+
+// CPUTotal sums ev over all symbols for one CPU.
+func (c *Counters) CPUTotal(cpu int, ev Event) uint64 {
+	var t uint64
+	for s := 0; s < c.table.Len(); s++ {
+		t += c.Get(cpu, Symbol(s), ev)
+	}
+	return t
+}
+
+// Total sums ev over the whole machine.
+func (c *Counters) Total(ev Event) uint64 {
+	var t uint64
+	for cpu := 0; cpu < c.cpus; cpu++ {
+		t += c.CPUTotal(cpu, ev)
+	}
+	return t
+}
+
+// BinTotal sums ev over all CPUs and all symbols belonging to bin.
+func (c *Counters) BinTotal(bin Bin, ev Event) uint64 {
+	var t uint64
+	for s := 0; s < c.table.Len(); s++ {
+		if c.table.Bin(Symbol(s)) != bin {
+			continue
+		}
+		t += c.SymbolTotal(Symbol(s), ev)
+	}
+	return t
+}
+
+// BinCPUTotal sums ev over one CPU for all symbols in bin.
+func (c *Counters) BinCPUTotal(cpu int, bin Bin, ev Event) uint64 {
+	var t uint64
+	for s := 0; s < c.table.Len(); s++ {
+		if c.table.Bin(Symbol(s)) != bin {
+			continue
+		}
+		t += c.Get(cpu, Symbol(s), ev)
+	}
+	return t
+}
+
+// Reset zeroes every counter. Experiments call this after warmup so the
+// measured interval excludes cold-start transients — the same reason the
+// paper profiles long steady-state runs.
+func (c *Counters) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}
+
+// Snapshot returns a deep copy of the counter file, so an experiment can
+// diff two points in time.
+func (c *Counters) Snapshot() *Counters {
+	c.ensure()
+	cp := &Counters{table: c.table, cpus: c.cpus, stride: c.stride}
+	cp.counts = make([]uint64, len(c.counts))
+	copy(cp.counts, c.counts)
+	return cp
+}
+
+// Diff returns a counter file holding c - earlier. The snapshots must
+// come from the same machine; earlier may predate some symbol
+// registrations (those counters diff against zero).
+func (c *Counters) Diff(earlier *Counters) *Counters {
+	if earlier.table != c.table || earlier.cpus != c.cpus {
+		panic(fmt.Sprintf("perf: Diff of mismatched counter files (%d vs %d CPUs)", c.cpus, earlier.cpus))
+	}
+	out := c.Snapshot()
+	for i := range earlier.counts {
+		out.counts[i] -= earlier.counts[i]
+	}
+	return out
+}

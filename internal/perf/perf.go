@@ -1,0 +1,195 @@
+// Package perf defines the performance-monitoring primitives shared by the
+// whole simulator: the hardware event set of the simulated Pentium 4 Xeon
+// PMU, the paper's seven functional bins of TCP processing, a symbol table
+// for simulated kernel procedures, and per-CPU × per-symbol × per-event
+// counters.
+//
+// Everything the Oprofile-like profiler (internal/prof) reports, and
+// everything the paper's tables contain, is derived from these counters.
+package perf
+
+import "fmt"
+
+// Event is one hardware event the simulated PMU can count. The set mirrors
+// the events the paper monitors in §6.2 (Figure 5), plus instructions,
+// cycles and branches which the derived metrics (CPI, MPI, %branches)
+// need.
+type Event int
+
+const (
+	// Cycles counts unhalted clock cycles.
+	Cycles Event = iota
+	// Instructions counts retired instructions.
+	Instructions
+	// Branches counts retired branch instructions.
+	Branches
+	// BranchMispredicts counts mispredicted retired branches.
+	BranchMispredicts
+	// MachineClears counts pipeline flushes (the paper's headline event:
+	// caused by interrupts, IPIs and — rarely — memory-order violations).
+	MachineClears
+	// TCMisses counts trace-cache (front-end) misses.
+	TCMisses
+	// L2Misses counts first/second-level misses that were served by the
+	// on-die L3 (the paper's "L2 miss", cost ≈ 10 cycles).
+	L2Misses
+	// LLCMisses counts last-level-cache misses served from memory or a
+	// remote processor's dirty copy (cost ≈ 300 cycles).
+	LLCMisses
+	// ITLBWalks counts page walks triggered by instruction-TLB misses.
+	ITLBWalks
+	// DTLBWalks counts page walks triggered by data-TLB misses.
+	DTLBWalks
+	// IPIsReceived counts inter-processor interrupts delivered to a CPU.
+	// Not a P4 PMU event (the paper laments Oprofile cannot count it); the
+	// simulator exposes it because it *can*, which lets tests pin down the
+	// causal story the paper could only argue indirectly.
+	IPIsReceived
+	// IRQsReceived counts device interrupts delivered to a CPU.
+	IRQsReceived
+	// SpinCycles counts cycles burnt inside spinlock wait loops.
+	SpinCycles
+
+	// NumEvents is the number of defined events.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"cycles", "instructions", "branches", "br_mispredict", "machine_clear",
+	"tc_miss", "l2_miss", "llc_miss", "itlb_walk", "dtlb_walk",
+	"ipi_received", "irq_received", "spin_cycles",
+}
+
+// String returns the short lower-case event mnemonic.
+func (e Event) String() string {
+	if e < 0 || e >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Bin is one of the paper's functional bins of TCP processing (§3, Table
+// 1). Every simulated kernel symbol belongs to exactly one bin.
+type Bin int
+
+const (
+	// BinInterface covers the sockets API, system-call entry and
+	// schedule-related routines.
+	BinInterface Bin = iota
+	// BinEngine covers compute parts of TCP protocol processing: the
+	// state machine, window calculations, header construction.
+	BinEngine
+	// BinBufMgmt covers memory/buffer management and manipulation of TCP
+	// control structures (skb alloc/free, socket accounting).
+	BinBufMgmt
+	// BinCopies covers movement of payload data only.
+	BinCopies
+	// BinDriver covers NIC driver routines and NIC interrupt processing.
+	BinDriver
+	// BinLocks covers synchronization-related routines.
+	BinLocks
+	// BinTimers covers TCP timer routines (including do_gettimeofday on
+	// the receive path).
+	BinTimers
+	// BinIdle is the idle loop; excluded from stack characterization
+	// tables but needed for utilization accounting.
+	BinIdle
+	// BinOther is everything else (process bodies, bookkeeping).
+	BinOther
+
+	// NumBins is the number of defined bins.
+	NumBins
+)
+
+var binNames = [NumBins]string{
+	"Interface", "Engine", "Buf Mgmt", "Copies", "Driver", "Locks",
+	"Timers", "Idle", "Other",
+}
+
+// String returns the bin's display name as used in the paper's tables.
+func (b Bin) String() string {
+	if b < 0 || b >= NumBins {
+		return fmt.Sprintf("bin(%d)", int(b))
+	}
+	return binNames[b]
+}
+
+// StackBins lists the seven bins that constitute TCP stack processing, in
+// the paper's table order.
+func StackBins() []Bin {
+	return []Bin{BinInterface, BinEngine, BinBufMgmt, BinCopies, BinDriver, BinLocks, BinTimers}
+}
+
+// Symbol is a handle to a simulated kernel procedure registered in a
+// SymbolTable.
+type Symbol int
+
+// NoSymbol is the zero Symbol's invalid counterpart, used where "nothing
+// is executing" must be representable.
+const NoSymbol Symbol = -1
+
+// SymbolInfo describes one registered procedure.
+type SymbolInfo struct {
+	Name string // e.g. "tcp_sendmsg", "IRQ0x19_interrupt"
+	Bin  Bin
+}
+
+// SymbolTable maps procedure names to dense Symbol handles. One table is
+// shared by an entire simulated machine; registration happens during
+// machine construction, after which the table is read-only.
+type SymbolTable struct {
+	infos  []SymbolInfo
+	byName map[string]Symbol
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{byName: make(map[string]Symbol)}
+}
+
+// Register adds a procedure and returns its handle. Registering a name
+// twice returns the original handle; the bin must then match or Register
+// panics, since one procedure cannot live in two bins.
+func (t *SymbolTable) Register(name string, bin Bin) Symbol {
+	if s, ok := t.byName[name]; ok {
+		if t.infos[s].Bin != bin {
+			panic(fmt.Sprintf("perf: symbol %q re-registered with bin %v (was %v)", name, bin, t.infos[s].Bin))
+		}
+		return s
+	}
+	s := Symbol(len(t.infos))
+	t.infos = append(t.infos, SymbolInfo{Name: name, Bin: bin})
+	t.byName[name] = s
+	return s
+}
+
+// Lookup returns the handle for name, or NoSymbol if unregistered.
+func (t *SymbolTable) Lookup(name string) Symbol {
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	return NoSymbol
+}
+
+// Len reports the number of registered symbols.
+func (t *SymbolTable) Len() int { return len(t.infos) }
+
+// Info returns the descriptor of s.
+func (t *SymbolTable) Info(s Symbol) SymbolInfo {
+	return t.infos[s]
+}
+
+// Name returns the name of s.
+func (t *SymbolTable) Name(s Symbol) string { return t.infos[s].Name }
+
+// Bin returns the functional bin of s.
+func (t *SymbolTable) Bin(s Symbol) Bin { return t.infos[s].Bin }
+
+// Symbols returns all handles in registration order.
+func (t *SymbolTable) Symbols() []Symbol {
+	out := make([]Symbol, len(t.infos))
+	for i := range out {
+		out[i] = Symbol(i)
+	}
+	return out
+}

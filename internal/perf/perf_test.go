@@ -1,0 +1,193 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolTableRegisterAndLookup(t *testing.T) {
+	tab := NewSymbolTable()
+	a := tab.Register("tcp_sendmsg", BinEngine)
+	b := tab.Register("alloc_skb", BinBufMgmt)
+	if a == b {
+		t.Fatal("distinct names share a handle")
+	}
+	if tab.Lookup("tcp_sendmsg") != a {
+		t.Fatal("lookup returned wrong handle")
+	}
+	if tab.Lookup("nope") != NoSymbol {
+		t.Fatal("lookup of unregistered name should be NoSymbol")
+	}
+	if tab.Name(a) != "tcp_sendmsg" || tab.Bin(a) != BinEngine {
+		t.Fatal("info mismatch")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestSymbolTableIdempotentRegister(t *testing.T) {
+	tab := NewSymbolTable()
+	a := tab.Register("spin_lock", BinLocks)
+	b := tab.Register("spin_lock", BinLocks)
+	if a != b {
+		t.Fatal("re-registration returned a new handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registration with different bin did not panic")
+		}
+	}()
+	tab.Register("spin_lock", BinEngine)
+}
+
+func TestCountersAddGetTotals(t *testing.T) {
+	tab := NewSymbolTable()
+	eng := tab.Register("tcp_ack", BinEngine)
+	buf := tab.Register("kfree_skb", BinBufMgmt)
+	c := NewCounters(tab, 2)
+
+	c.Add(0, eng, Cycles, 100)
+	c.Add(1, eng, Cycles, 50)
+	c.Add(1, buf, Cycles, 25)
+	c.Add(0, eng, LLCMisses, 7)
+
+	if got := c.Get(0, eng, Cycles); got != 100 {
+		t.Fatalf("Get = %d, want 100", got)
+	}
+	if got := c.SymbolTotal(eng, Cycles); got != 150 {
+		t.Fatalf("SymbolTotal = %d, want 150", got)
+	}
+	if got := c.CPUTotal(1, Cycles); got != 75 {
+		t.Fatalf("CPUTotal = %d, want 75", got)
+	}
+	if got := c.Total(Cycles); got != 175 {
+		t.Fatalf("Total = %d, want 175", got)
+	}
+	if got := c.BinTotal(BinEngine, Cycles); got != 150 {
+		t.Fatalf("BinTotal(engine) = %d, want 150", got)
+	}
+	if got := c.BinTotal(BinBufMgmt, Cycles); got != 25 {
+		t.Fatalf("BinTotal(bufmgmt) = %d, want 25", got)
+	}
+	if got := c.BinCPUTotal(0, BinEngine, LLCMisses); got != 7 {
+		t.Fatalf("BinCPUTotal = %d, want 7", got)
+	}
+}
+
+func TestCountersSnapshotDiffReset(t *testing.T) {
+	tab := NewSymbolTable()
+	s := tab.Register("f", BinOther)
+	c := NewCounters(tab, 1)
+	c.Add(0, s, Instructions, 10)
+	snap := c.Snapshot()
+	c.Add(0, s, Instructions, 5)
+	d := c.Diff(snap)
+	if got := d.Get(0, s, Instructions); got != 5 {
+		t.Fatalf("Diff = %d, want 5", got)
+	}
+	// Snapshot must be independent of the original.
+	if got := snap.Get(0, s, Instructions); got != 10 {
+		t.Fatalf("snapshot mutated: %d", got)
+	}
+	c.Reset()
+	if got := c.Total(Instructions); got != 0 {
+		t.Fatalf("Reset left %d", got)
+	}
+}
+
+func TestCountersAddZeroIsNoop(t *testing.T) {
+	tab := NewSymbolTable()
+	s := tab.Register("f", BinOther)
+	c := NewCounters(tab, 1)
+	c.Add(0, s, Cycles, 0)
+	if c.Total(Cycles) != 0 {
+		t.Fatal("Add(0) changed counters")
+	}
+}
+
+// Property: Total is always the sum of CPUTotal across CPUs, and of
+// SymbolTotal across symbols, regardless of the add pattern.
+func TestCountersTotalsConsistent(t *testing.T) {
+	f := func(adds []struct {
+		CPU uint8
+		Sym uint8
+		Ev  uint8
+		N   uint16
+	}) bool {
+		tab := NewSymbolTable()
+		syms := []Symbol{
+			tab.Register("a", BinEngine),
+			tab.Register("b", BinCopies),
+			tab.Register("c", BinLocks),
+		}
+		c := NewCounters(tab, 3)
+		for _, ad := range adds {
+			c.Add(int(ad.CPU)%3, syms[int(ad.Sym)%3], Event(int(ad.Ev)%int(NumEvents)), uint64(ad.N))
+		}
+		for ev := Event(0); ev < NumEvents; ev++ {
+			var byCPU, bySym uint64
+			for cpu := 0; cpu < 3; cpu++ {
+				byCPU += c.CPUTotal(cpu, ev)
+			}
+			for _, s := range syms {
+				bySym += c.SymbolTotal(s, ev)
+			}
+			if byCPU != c.Total(ev) || bySym != c.Total(ev) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAndBinStrings(t *testing.T) {
+	if Cycles.String() != "cycles" {
+		t.Fatalf("Cycles = %q", Cycles.String())
+	}
+	if MachineClears.String() != "machine_clear" {
+		t.Fatalf("MachineClears = %q", MachineClears.String())
+	}
+	if BinBufMgmt.String() != "Buf Mgmt" {
+		t.Fatalf("BinBufMgmt = %q", BinBufMgmt.String())
+	}
+	if got := Event(99).String(); got != "event(99)" {
+		t.Fatalf("out-of-range event = %q", got)
+	}
+	if got := Bin(99).String(); got != "bin(99)" {
+		t.Fatalf("out-of-range bin = %q", got)
+	}
+	if len(StackBins()) != 7 {
+		t.Fatalf("StackBins = %d entries, want 7", len(StackBins()))
+	}
+}
+
+// Counters grow transparently when symbols are registered after the
+// counter file was created (machine construction order independence).
+func TestCountersGrowAfterRegistration(t *testing.T) {
+	tab := NewSymbolTable()
+	a := tab.Register("early", BinEngine)
+	c := NewCounters(tab, 2)
+	c.Add(0, a, Cycles, 5)
+	b := tab.Register("late", BinDriver)
+	c.Add(1, b, Cycles, 7)
+	if c.Get(0, a, Cycles) != 5 || c.Get(1, b, Cycles) != 7 {
+		t.Fatal("growth lost counts")
+	}
+	// Get on an even later symbol is zero, not a panic.
+	d := tab.Register("latest", BinLocks)
+	if c.Get(0, d, Cycles) != 0 {
+		t.Fatal("unwritten late symbol non-zero")
+	}
+	// Diff against a snapshot taken before growth works.
+	snap := c.Snapshot()
+	e := tab.Register("post-snap", BinTimers)
+	c.Add(0, e, Cycles, 3)
+	diff := c.Diff(snap)
+	if diff.Get(0, e, Cycles) != 3 {
+		t.Fatal("diff across growth wrong")
+	}
+}

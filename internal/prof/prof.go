@@ -1,0 +1,322 @@
+// Package prof turns the simulated PMU counter file into the paper's
+// measurement artifacts, playing the role Oprofile 0.7 plays in the
+// study: per-symbol and per-CPU event accounting, aggregation into the
+// seven functional bins, and derived metrics (CPI, MPI, branch ratios,
+// event-cost shares).
+//
+// The simulator counts events exactly rather than sampling them; a
+// statistical sampler converges to these distributions over the paper's
+// long steady-state runs (§4). The one sampling artifact that matters —
+// attribution "skid" of interrupt-caused machine clears into the
+// interrupted code — is modelled at event-generation time in the kernel.
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// BinRow is one row of the paper's Table 1: a functional bin's share of
+// cycles and its derived ratios.
+type BinRow struct {
+	Bin perf.Bin
+	// PctCycles is the bin's share of all busy (non-idle) cycles.
+	PctCycles float64
+	// CPI is cycles per instruction.
+	CPI float64
+	// MPI is last-level cache misses per instruction.
+	MPI float64
+	// PctBranches is branches per instruction.
+	PctBranches float64
+	// PctMispredicted is mispredicted branches per branch.
+	PctMispredicted float64
+
+	Cycles, Instr, Misses, Branches, Mispredicts, Clears uint64
+}
+
+// BinTable is a full baseline characterization: the seven stack bins plus
+// the Overall row (which aggregates exactly those bins, as the paper's
+// Overall rows do).
+type BinTable struct {
+	Rows    []BinRow
+	Overall BinRow
+	// TotalCycles is the busy-cycle denominator (all bins except idle).
+	TotalCycles uint64
+}
+
+// NewBinTable builds Table-1 style rows from a counter file.
+func NewBinTable(c *perf.Counters) BinTable {
+	var t BinTable
+	var total uint64
+	for b := perf.Bin(0); b < perf.NumBins; b++ {
+		if b == perf.BinIdle {
+			continue
+		}
+		total += c.BinTotal(b, perf.Cycles)
+	}
+	t.TotalCycles = total
+
+	sum := BinRow{Bin: -1}
+	for _, b := range perf.StackBins() {
+		row := binRow(c, b, total)
+		t.Rows = append(t.Rows, row)
+		sum.Cycles += row.Cycles
+		sum.Instr += row.Instr
+		sum.Misses += row.Misses
+		sum.Branches += row.Branches
+		sum.Mispredicts += row.Mispredicts
+		sum.Clears += row.Clears
+	}
+	sum.derive(total)
+	t.Overall = sum
+	return t
+}
+
+func binRow(c *perf.Counters, b perf.Bin, total uint64) BinRow {
+	row := BinRow{
+		Bin:         b,
+		Cycles:      c.BinTotal(b, perf.Cycles),
+		Instr:       c.BinTotal(b, perf.Instructions),
+		Misses:      c.BinTotal(b, perf.LLCMisses),
+		Branches:    c.BinTotal(b, perf.Branches),
+		Mispredicts: c.BinTotal(b, perf.BranchMispredicts),
+		Clears:      c.BinTotal(b, perf.MachineClears),
+	}
+	row.derive(total)
+	return row
+}
+
+func (r *BinRow) derive(total uint64) {
+	if total > 0 {
+		r.PctCycles = float64(r.Cycles) / float64(total)
+	}
+	if r.Instr > 0 {
+		r.CPI = float64(r.Cycles) / float64(r.Instr)
+		r.MPI = float64(r.Misses) / float64(r.Instr)
+		r.PctBranches = float64(r.Branches) / float64(r.Instr)
+	}
+	if r.Branches > 0 {
+		r.PctMispredicted = float64(r.Mispredicts) / float64(r.Branches)
+	}
+}
+
+// Format renders the table in the paper's Table 1 layout.
+func (t BinTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %7s %8s %10s %14s\n",
+		"Bin", "% Cycles", "CPI", "MPI", "% Branches", "% Br mispred")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %8.1f%% %7.2f %8.4f %9.2f%% %13.2f%%\n",
+			r.Bin, 100*r.PctCycles, r.CPI, r.MPI, 100*r.PctBranches, 100*r.PctMispredicted)
+	}
+	r := t.Overall
+	fmt.Fprintf(&b, "%-10s %8.1f%% %7.2f %8.4f %9.2f%% %13.2f%%\n",
+		"Overall", 100*r.PctCycles, r.CPI, r.MPI, 100*r.PctBranches, 100*r.PctMispredicted)
+	return b.String()
+}
+
+// SymbolCount is one symbol's count of some event on one CPU.
+type SymbolCount struct {
+	CPU    int
+	Symbol string
+	Bin    perf.Bin
+	Count  uint64
+	// Pct is the share of the event among the listed population.
+	Pct float64
+}
+
+// TopSymbols returns, per CPU, the highest-count symbols for ev,
+// restricted to the given bins (nil = all), mirroring the paper's Table 4
+// per-CPU machine-clear listing. n limits rows per CPU.
+func TopSymbols(c *perf.Counters, ev perf.Event, bins []perf.Bin, n int) [][]SymbolCount {
+	binOK := func(b perf.Bin) bool {
+		if bins == nil {
+			return true
+		}
+		for _, x := range bins {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	tab := c.Table()
+	out := make([][]SymbolCount, c.CPUs())
+	for cpuID := 0; cpuID < c.CPUs(); cpuID++ {
+		var rows []SymbolCount
+		var cpuTotal uint64
+		for _, s := range tab.Symbols() {
+			cpuTotal += c.Get(cpuID, s, ev)
+		}
+		for _, s := range tab.Symbols() {
+			info := tab.Info(s)
+			if !binOK(info.Bin) {
+				continue
+			}
+			cnt := c.Get(cpuID, s, ev)
+			if cnt == 0 {
+				continue
+			}
+			rows = append(rows, SymbolCount{
+				CPU:    cpuID,
+				Symbol: info.Name,
+				Bin:    info.Bin,
+				Count:  cnt,
+				Pct:    pct(cnt, cpuTotal),
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Count != rows[j].Count {
+				return rows[i].Count > rows[j].Count
+			}
+			return rows[i].Symbol < rows[j].Symbol
+		})
+		if n > 0 && len(rows) > n {
+			rows = rows[:n]
+		}
+		out[cpuID] = rows
+	}
+	return out
+}
+
+func pct(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// FormatTopSymbols renders a Table-4 style listing.
+func FormatTopSymbols(rows [][]SymbolCount, ev perf.Event) string {
+	var b strings.Builder
+	for cpuID, list := range rows {
+		fmt.Fprintf(&b, "CPU %d (%s)\n", cpuID, ev)
+		fmt.Fprintf(&b, "  %10s %7s  %s\n", "count", "%", "symbol")
+		for _, r := range list {
+			fmt.Fprintf(&b, "  %10d %6.2f%%  %s\n", r.Count, 100*r.Pct, r.Symbol)
+		}
+	}
+	return b.String()
+}
+
+// EventShare is one row of the paper's Figure 5: the share of run time a
+// first-order penalty model attributes to an event.
+type EventShare struct {
+	Event perf.Event
+	Cost  uint64
+	Count uint64
+	// Share is count*cost / total cycles.
+	Share float64
+}
+
+// ImpactCosts is the paper's Figure 5 cost table (cycles per event).
+func ImpactCosts() map[perf.Event]uint64 {
+	return map[perf.Event]uint64{
+		perf.MachineClears:     500,
+		perf.TCMisses:          20,
+		perf.L2Misses:          10,
+		perf.LLCMisses:         300,
+		perf.ITLBWalks:         30,
+		perf.DTLBWalks:         36,
+		perf.BranchMispredicts: 30,
+	}
+}
+
+// ImpactIndicators computes Figure 5: the percentage of all busy cycles
+// attributed to each monitored event, plus the theoretical-minimum
+// instruction row (instructions × 0.33 CPI).
+func ImpactIndicators(c *perf.Counters) []EventShare {
+	var busy uint64
+	for b := perf.Bin(0); b < perf.NumBins; b++ {
+		if b == perf.BinIdle {
+			continue
+		}
+		busy += c.BinTotal(b, perf.Cycles)
+	}
+	costs := ImpactCosts()
+	order := []perf.Event{
+		perf.MachineClears, perf.TCMisses, perf.L2Misses, perf.LLCMisses,
+		perf.ITLBWalks, perf.DTLBWalks, perf.BranchMispredicts,
+	}
+	var out []EventShare
+	for _, ev := range order {
+		cnt := c.Total(ev)
+		share := 0.0
+		if busy > 0 {
+			share = float64(cnt*costs[ev]) / float64(busy)
+		}
+		out = append(out, EventShare{Event: ev, Cost: costs[ev], Count: cnt, Share: share})
+	}
+	instr := c.Total(perf.Instructions)
+	instrShare := 0.0
+	if busy > 0 {
+		instrShare = float64(instr) / 3 / float64(busy)
+	}
+	out = append(out, EventShare{Event: perf.Instructions, Cost: 0, Count: instr, Share: instrShare})
+	return out
+}
+
+// FormatImpact renders a Figure-5 style column.
+func FormatImpact(shares []EventShare) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %12s %8s\n", "Event", "Cost", "Count", "% Time")
+	for _, s := range shares {
+		name := s.Event.String()
+		cost := fmt.Sprintf("%d", s.Cost)
+		if s.Event == perf.Instructions {
+			name = "Instr"
+			cost = "0.33"
+		}
+		fmt.Fprintf(&b, "%-14s %6s %12d %7.1f%%\n", name, cost, s.Count, 100*s.Share)
+	}
+	return b.String()
+}
+
+// PerCPUBinTables builds one Table-1 style characterization per CPU,
+// which is how the paper localizes behaviour ("a per-cpu view of
+// Oprofile results is useful", §6.3).
+func PerCPUBinTables(c *perf.Counters) []BinTable {
+	out := make([]BinTable, c.CPUs())
+	for cpuID := range out {
+		out[cpuID] = perCPUBinTable(c, cpuID)
+	}
+	return out
+}
+
+func perCPUBinTable(c *perf.Counters, cpuID int) BinTable {
+	var t BinTable
+	var total uint64
+	for b := perf.Bin(0); b < perf.NumBins; b++ {
+		if b == perf.BinIdle {
+			continue
+		}
+		total += c.BinCPUTotal(cpuID, b, perf.Cycles)
+	}
+	t.TotalCycles = total
+	sum := BinRow{Bin: -1}
+	for _, b := range perf.StackBins() {
+		row := BinRow{
+			Bin:         b,
+			Cycles:      c.BinCPUTotal(cpuID, b, perf.Cycles),
+			Instr:       c.BinCPUTotal(cpuID, b, perf.Instructions),
+			Misses:      c.BinCPUTotal(cpuID, b, perf.LLCMisses),
+			Branches:    c.BinCPUTotal(cpuID, b, perf.Branches),
+			Mispredicts: c.BinCPUTotal(cpuID, b, perf.BranchMispredicts),
+			Clears:      c.BinCPUTotal(cpuID, b, perf.MachineClears),
+		}
+		row.derive(total)
+		t.Rows = append(t.Rows, row)
+		sum.Cycles += row.Cycles
+		sum.Instr += row.Instr
+		sum.Misses += row.Misses
+		sum.Branches += row.Branches
+		sum.Mispredicts += row.Mispredicts
+		sum.Clears += row.Clears
+	}
+	sum.derive(total)
+	t.Overall = sum
+	return t
+}

@@ -1,0 +1,212 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func buildCounters() (*perf.Counters, map[string]perf.Symbol) {
+	tab := perf.NewSymbolTable()
+	syms := map[string]perf.Symbol{
+		"tcp_sendmsg": tab.Register("tcp_sendmsg", perf.BinEngine),
+		"alloc_skb":   tab.Register("alloc_skb", perf.BinBufMgmt),
+		"copy":        tab.Register("__copy_from_user_ll", perf.BinCopies),
+		"irq":         tab.Register("IRQ0x19_interrupt", perf.BinDriver),
+		"lock":        tab.Register("spin_lock", perf.BinLocks),
+		"timer":       tab.Register("mod_timer", perf.BinTimers),
+		"syscall":     tab.Register("system_call", perf.BinInterface),
+		"idle":        tab.Register("cpu_idle", perf.BinIdle),
+		"sched":       tab.Register("reschedule_interrupt", perf.BinOther),
+	}
+	c := perf.NewCounters(tab, 2)
+	return c, syms
+}
+
+func TestBinTableSharesAndDerived(t *testing.T) {
+	c, syms := buildCounters()
+	// Engine: 600 cycles / 200 instr on cpu0 plus 400/100 on cpu1.
+	c.Add(0, syms["tcp_sendmsg"], perf.Cycles, 600)
+	c.Add(0, syms["tcp_sendmsg"], perf.Instructions, 200)
+	c.Add(1, syms["tcp_sendmsg"], perf.Cycles, 400)
+	c.Add(1, syms["tcp_sendmsg"], perf.Instructions, 100)
+	c.Add(0, syms["tcp_sendmsg"], perf.LLCMisses, 3)
+	c.Add(0, syms["tcp_sendmsg"], perf.Branches, 30)
+	c.Add(0, syms["tcp_sendmsg"], perf.BranchMispredicts, 3)
+	// Copies: 1000 cycles.
+	c.Add(0, syms["copy"], perf.Cycles, 1000)
+	c.Add(0, syms["copy"], perf.Instructions, 500)
+	// Other (non-stack) bin work counts toward the denominator.
+	c.Add(0, syms["sched"], perf.Cycles, 500)
+	// Idle must NOT count.
+	c.Add(1, syms["idle"], perf.Cycles, 100000)
+
+	tab := NewBinTable(c)
+	if tab.TotalCycles != 600+400+1000+500 {
+		t.Fatalf("total busy cycles = %d, want 2500", tab.TotalCycles)
+	}
+	var engine, copies BinRow
+	for _, r := range tab.Rows {
+		switch r.Bin {
+		case perf.BinEngine:
+			engine = r
+		case perf.BinCopies:
+			copies = r
+		}
+	}
+	if got := engine.PctCycles; got != 0.4 {
+		t.Fatalf("engine share = %v, want 0.4", got)
+	}
+	if got := engine.CPI; got != 1000.0/300.0 {
+		t.Fatalf("engine CPI = %v", got)
+	}
+	if got := engine.MPI; got != 3.0/300.0 {
+		t.Fatalf("engine MPI = %v", got)
+	}
+	if got := engine.PctBranches; got != 0.1 {
+		t.Fatalf("engine %%branches = %v", got)
+	}
+	if got := engine.PctMispredicted; got != 0.1 {
+		t.Fatalf("engine %%mispredict = %v", got)
+	}
+	if copies.PctCycles != 0.4 {
+		t.Fatalf("copies share = %v, want 0.4", copies.PctCycles)
+	}
+	// Overall aggregates only the seven stack bins: 2000/2500 = 0.8.
+	if tab.Overall.PctCycles != 0.8 {
+		t.Fatalf("overall share = %v, want 0.8", tab.Overall.PctCycles)
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "Engine") || !strings.Contains(out, "Overall") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestBinTableEmptyCounters(t *testing.T) {
+	c, _ := buildCounters()
+	tab := NewBinTable(c)
+	if tab.TotalCycles != 0 {
+		t.Fatal("empty counters have cycles")
+	}
+	for _, r := range tab.Rows {
+		if r.PctCycles != 0 || r.CPI != 0 {
+			t.Fatal("empty counters produced non-zero rows")
+		}
+	}
+}
+
+func TestTopSymbolsOrderingAndFilter(t *testing.T) {
+	c, syms := buildCounters()
+	c.Add(0, syms["tcp_sendmsg"], perf.MachineClears, 50)
+	c.Add(0, syms["irq"], perf.MachineClears, 80)
+	c.Add(0, syms["lock"], perf.MachineClears, 70) // excluded by bin filter
+	c.Add(1, syms["tcp_sendmsg"], perf.MachineClears, 10)
+
+	rows := TopSymbols(c, perf.MachineClears, []perf.Bin{perf.BinEngine, perf.BinDriver}, 5)
+	if len(rows) != 2 {
+		t.Fatalf("per-CPU groups = %d, want 2", len(rows))
+	}
+	cpu0 := rows[0]
+	if len(cpu0) != 2 {
+		t.Fatalf("cpu0 rows = %d, want 2 (lock filtered out)", len(cpu0))
+	}
+	if cpu0[0].Symbol != "IRQ0x19_interrupt" || cpu0[0].Count != 80 {
+		t.Fatalf("cpu0 top = %+v, want irq/80", cpu0[0])
+	}
+	// Pct is relative to ALL clears on that CPU (including filtered bins).
+	if got := cpu0[0].Pct; got != 80.0/200.0 {
+		t.Fatalf("pct = %v, want 0.4", got)
+	}
+	if rows[1][0].Count != 10 {
+		t.Fatalf("cpu1 top = %+v", rows[1][0])
+	}
+	out := FormatTopSymbols(rows, perf.MachineClears)
+	if !strings.Contains(out, "CPU 0") || !strings.Contains(out, "IRQ0x19_interrupt") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+}
+
+func TestTopSymbolsLimit(t *testing.T) {
+	c, syms := buildCounters()
+	for _, s := range syms {
+		c.Add(0, s, perf.MachineClears, 5)
+	}
+	rows := TopSymbols(c, perf.MachineClears, nil, 3)
+	if len(rows[0]) != 3 {
+		t.Fatalf("limit ignored: %d rows", len(rows[0]))
+	}
+}
+
+func TestImpactIndicators(t *testing.T) {
+	c, syms := buildCounters()
+	// 10_000 busy cycles total.
+	c.Add(0, syms["tcp_sendmsg"], perf.Cycles, 10_000)
+	c.Add(0, syms["tcp_sendmsg"], perf.MachineClears, 10) // 10*500 = 50%
+	c.Add(0, syms["tcp_sendmsg"], perf.LLCMisses, 10)     // 10*300 = 30%
+	c.Add(0, syms["tcp_sendmsg"], perf.Instructions, 3000)
+	c.Add(1, syms["idle"], perf.Cycles, 999_999) // excluded
+
+	shares := ImpactIndicators(c)
+	get := func(ev perf.Event) float64 {
+		for _, s := range shares {
+			if s.Event == ev {
+				return s.Share
+			}
+		}
+		t.Fatalf("event %v missing", ev)
+		return 0
+	}
+	if got := get(perf.MachineClears); got != 0.5 {
+		t.Fatalf("clears share = %v, want 0.5", got)
+	}
+	if got := get(perf.LLCMisses); got != 0.3 {
+		t.Fatalf("llc share = %v, want 0.3", got)
+	}
+	// Instruction lower bound: 3000/3/10000 = 0.1.
+	if got := get(perf.Instructions); got != 0.1 {
+		t.Fatalf("instr share = %v, want 0.1", got)
+	}
+	out := FormatImpact(shares)
+	if !strings.Contains(out, "machine_clear") || !strings.Contains(out, "Instr") {
+		t.Fatalf("format incomplete:\n%s", out)
+	}
+	// The indicator cost table must be the paper's Figure 5 constants.
+	costs := ImpactCosts()
+	if costs[perf.MachineClears] != 500 || costs[perf.LLCMisses] != 300 || costs[perf.DTLBWalks] != 36 {
+		t.Fatalf("impact cost table diverges from the paper: %v", costs)
+	}
+}
+
+func TestPerCPUBinTables(t *testing.T) {
+	c, syms := buildCounters()
+	c.Add(0, syms["tcp_sendmsg"], perf.Cycles, 800)
+	c.Add(0, syms["tcp_sendmsg"], perf.Instructions, 400)
+	c.Add(1, syms["copy"], perf.Cycles, 600)
+	c.Add(1, syms["copy"], perf.Instructions, 100)
+	tabs := PerCPUBinTables(c)
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tabs))
+	}
+	// CPU0: all cycles in engine; CPU1: all in copies.
+	for _, r := range tabs[0].Rows {
+		switch r.Bin {
+		case perf.BinEngine:
+			if r.PctCycles != 1.0 {
+				t.Errorf("cpu0 engine share %v", r.PctCycles)
+			}
+		case perf.BinCopies:
+			if r.PctCycles != 0 {
+				t.Errorf("cpu0 copies share %v", r.PctCycles)
+			}
+		}
+	}
+	for _, r := range tabs[1].Rows {
+		if r.Bin == perf.BinCopies && r.CPI != 6 {
+			t.Errorf("cpu1 copies CPI %v, want 6", r.CPI)
+		}
+	}
+	if tabs[0].TotalCycles != 800 || tabs[1].TotalCycles != 600 {
+		t.Fatalf("per-cpu totals wrong: %d/%d", tabs[0].TotalCycles, tabs[1].TotalCycles)
+	}
+}

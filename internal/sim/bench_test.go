@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
+// simulator's fundamental speed limit.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(10, step)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, step)
+	e.Run(Forever - 1)
+}
+
+// BenchmarkCoroHandoff measures one park/resume round trip.
+func BenchmarkCoroHandoff(b *testing.B) {
+	c := NewCoro("bench", func(c *Coro) {
+		for {
+			c.Park()
+		}
+	})
+	c.Resume()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Resume()
+	}
+}
+
+// BenchmarkRNG measures the deterministic generator.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// Coro is a strict-handoff coroutine: a goroutine that runs only while the
+// engine has explicitly resumed it, and that must park (or finish) to hand
+// control back. At any instant at most one coroutine (or the engine) is
+// executing, so the simulation stays deterministic even though simulated
+// processes are written in natural blocking style.
+//
+// Lifecycle:
+//
+//	c := NewCoro(name, func(c *Coro) { ...; c.Park(); ... })
+//	c.Resume()   // runs the body until its first Park or until it returns
+//	c.Resume()   // runs from after Park to the next Park / return
+//	c.Kill()     // unwinds a parked coroutine (its deferred calls run)
+//
+// The body must only Park from its own goroutine, and Resume must only be
+// called from outside it (engine/event context).
+type Coro struct {
+	name     string
+	resumeCh chan coroSignal
+	yieldCh  chan struct{}
+	started  bool
+	done     bool
+	parked   bool
+	body     func(*Coro)
+}
+
+type coroSignal int
+
+const (
+	sigResume coroSignal = iota
+	sigKill
+)
+
+// coroKilled is the panic value used to unwind a killed coroutine.
+type coroKilled struct{ name string }
+
+// NewCoro creates a coroutine around body. The body does not start running
+// until the first Resume.
+func NewCoro(name string, body func(*Coro)) *Coro {
+	return &Coro{
+		name:     name,
+		resumeCh: make(chan coroSignal),
+		yieldCh:  make(chan struct{}),
+		body:     body,
+	}
+}
+
+// Name returns the diagnostic name given at creation.
+func (c *Coro) Name() string { return c.name }
+
+// Done reports whether the body has returned (or been killed).
+func (c *Coro) Done() bool { return c.done }
+
+// Parked reports whether the coroutine is waiting in Park.
+func (c *Coro) Parked() bool { return c.parked }
+
+// Resume transfers control into the coroutine and blocks until it parks or
+// finishes. Resuming a finished coroutine panics: it indicates a scheduler
+// bookkeeping bug.
+func (c *Coro) Resume() {
+	if c.done {
+		panic(fmt.Sprintf("sim: resume of finished coroutine %q", c.name))
+	}
+	if !c.started {
+		c.started = true
+		go c.run()
+	} else {
+		c.resumeCh <- sigResume
+	}
+	<-c.yieldCh
+}
+
+// Park yields control back to whoever resumed the coroutine and blocks the
+// body until the next Resume. It must be called from the coroutine's own
+// goroutine.
+func (c *Coro) Park() {
+	c.parked = true
+	c.yieldCh <- struct{}{}
+	sig := <-c.resumeCh
+	c.parked = false
+	if sig == sigKill {
+		panic(coroKilled{c.name})
+	}
+}
+
+// Kill unwinds a parked coroutine: its body panics with an internal
+// sentinel (running deferred cleanup) and the coroutine is marked done.
+// Killing an unstarted or finished coroutine is a no-op.
+func (c *Coro) Kill() {
+	if c.done || !c.started {
+		c.done = true
+		return
+	}
+	if !c.parked {
+		panic(fmt.Sprintf("sim: kill of running coroutine %q", c.name))
+	}
+	c.resumeCh <- sigKill
+	<-c.yieldCh
+}
+
+func (c *Coro) run() {
+	defer func() {
+		c.done = true
+		if r := recover(); r != nil {
+			if _, ok := r.(coroKilled); ok {
+				c.yieldCh <- struct{}{}
+				return
+			}
+			// Real bug in simulated code: re-panic on the engine side with
+			// context, after releasing the engine so the panic is visible.
+			c.yieldCh <- struct{}{}
+			panic(fmt.Sprintf("sim: coroutine %q panicked: %v", c.name, r))
+		}
+		c.yieldCh <- struct{}{}
+	}()
+	c.body(c)
+}

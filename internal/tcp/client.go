@@ -1,0 +1,234 @@
+package tcp
+
+import "repro/internal/netdev"
+
+// Client models the far end of one connection: an ideal client machine
+// whose CPU is never the bottleneck (the paper provisions clients so the
+// SUT saturates first). It speaks just enough TCP to exercise the SUT:
+//
+//   - as a sink (SUT transmit tests) it consumes data and returns
+//     delayed ACKs — one per DelAckSegs segments, or after 200 µs;
+//   - as a source (SUT receive tests) it streams MSS segments bounded by
+//     the window the SUT advertises, reacting to window updates.
+//
+// Client state is plain values, not simulated memory: its cache
+// behaviour is irrelevant to the characterization.
+type Client struct {
+	st   *Stack
+	conn int
+	nic  *netdev.NIC
+
+	// Sink state.
+	rcvNxt       uint64
+	segsSinceAck int
+	delackArmed  bool
+	window       int
+
+	// Source state.
+	active bool
+	sndNxt uint64
+	sndUna uint64
+	sutWnd int
+	// backlogBytes are one-shot bytes queued by SendBytes (request/
+	// response workloads), drained by pump alongside continuous mode.
+	backlogBytes int
+	// onRecv, when set, observes each data segment delivered to the
+	// client (request/response workloads key their next request off it).
+	onRecv func(n int)
+
+	dupAcks    int
+	watchArmed bool
+
+	// Stats.
+	BytesReceived uint64
+	BytesSent     uint64
+	AcksSent      uint64
+	SegsSent      uint64
+	Retransmits   uint64
+	OutOfOrder    uint64
+}
+
+func newClient(st *Stack, conn int, nic *netdev.NIC) *Client {
+	return &Client{
+		st:     st,
+		conn:   conn,
+		nic:    nic,
+		rcvNxt: 1,
+		sndNxt: 1,
+		sndUna: 1,
+		window: st.Cfg.RcvBuf,
+		// The SUT's initial advertisement is half its receive buffer
+		// (truesize headroom); start from the same value.
+		sutWnd: st.Cfg.RcvBuf / 2,
+	}
+}
+
+// ToPeer implements netdev.Peer: a frame from the SUT reaches the client
+// after its (small, fixed) processing delay.
+func (c *Client) ToPeer(f netdev.WireFrame) {
+	c.st.K.Eng.After(c.st.Cfg.ClientDelayCycles, func() { c.handle(f) })
+}
+
+func (c *Client) handle(f netdev.WireFrame) {
+	// Connection management: the ideal client accepts any open and
+	// acknowledges any close immediately.
+	if f.Flags&netdev.FlagSyn != 0 {
+		c.nic.InjectFromWire(netdev.WireFrame{
+			Conn:   c.conn,
+			Window: c.window,
+			Flags:  netdev.FlagSyn | netdev.FlagAck,
+		})
+		return
+	}
+	if f.Flags&netdev.FlagFin != 0 {
+		c.nic.InjectFromWire(netdev.WireFrame{
+			Conn:  c.conn,
+			Flags: netdev.FlagFin | netdev.FlagAck,
+		})
+		return
+	}
+	if f.Len > 0 {
+		if f.Seq != c.rcvNxt {
+			// Go-back-N sink: drop duplicates and gaps, answer with an
+			// immediate duplicate ACK so the SUT retransmits.
+			c.OutOfOrder++
+			c.sendAck()
+			return
+		}
+		c.rcvNxt += uint64(f.Len)
+		c.BytesReceived += uint64(f.Len)
+		if c.onRecv != nil {
+			c.onRecv(f.Len)
+		}
+		c.segsSinceAck++
+		if c.segsSinceAck >= c.st.Cfg.DelAckSegs {
+			c.sendAck()
+		} else if !c.delackArmed {
+			c.delackArmed = true
+			c.st.K.Eng.After(400_000, func() { // 200 µs delayed ACK
+				c.delackArmed = false
+				if c.segsSinceAck > 0 {
+					c.sendAck()
+				}
+			})
+		}
+	}
+	if f.Flags&netdev.FlagAck != 0 {
+		switch {
+		case f.Ack > c.sndUna:
+			c.sndUna = f.Ack
+			c.dupAcks = 0
+		case f.Ack == c.sndUna && c.sndNxt > c.sndUna && f.Len == 0 && f.Window == c.sutWnd:
+			// Duplicate ACK from the SUT: same ack point, same window
+			// (a changed window means a window update, not a loss
+			// signal). After three, go back to the last acknowledged
+			// byte and resend the window.
+			c.dupAcks++
+			if c.dupAcks >= 3 {
+				c.dupAcks = 0
+				c.Retransmits++
+				c.sndNxt = c.sndUna
+			}
+		}
+		c.sutWnd = f.Window
+		c.pump()
+	}
+	c.armWatchdog()
+}
+
+// armWatchdog schedules a retransmission timeout for the client source:
+// if no acknowledgment progress happens for 200 ms of virtual time while
+// data is outstanding, the client goes back to snd_una. This is the
+// ideal client's RTO — long enough that SUT scheduling stalls (quanta,
+// starvation) never trigger it; the dup-ACK fast path handles ordinary
+// loss much sooner.
+func (c *Client) armWatchdog() {
+	if c.watchArmed || (c.sndNxt == c.sndUna) {
+		return
+	}
+	c.watchArmed = true
+	mark := c.sndUna
+	c.st.K.Eng.After(400_000_000, func() {
+		c.watchArmed = false
+		if c.sndNxt > c.sndUna && c.sndUna == mark {
+			c.Retransmits++
+			c.sndNxt = c.sndUna
+			c.pump()
+		}
+		c.armWatchdog()
+	})
+}
+
+func (c *Client) sendAck() {
+	c.segsSinceAck = 0
+	c.AcksSent++
+	c.nic.InjectFromWire(netdev.WireFrame{
+		Conn:   c.conn,
+		Ack:    c.rcvNxt,
+		Window: c.window,
+		Flags:  netdev.FlagAck,
+	})
+}
+
+// StartSource begins streaming data toward the SUT (receive tests).
+func (c *Client) StartSource() {
+	c.active = true
+	c.pump()
+}
+
+// StopSource halts the stream after in-flight data drains.
+func (c *Client) StopSource() { c.active = false }
+
+// SendBytes queues n application bytes for one-shot transmission toward
+// the SUT (request/response workloads); delivery respects the advertised
+// window and MSS like the continuous source.
+func (c *Client) SendBytes(n int) {
+	if n <= 0 {
+		return
+	}
+	c.backlogBytes += n
+	c.pump()
+}
+
+// OnReceive registers cb, invoked with the length of every data segment
+// the client receives from the SUT.
+func (c *Client) OnReceive(cb func(n int)) { c.onRecv = cb }
+
+// pump sends as many MSS segments as the SUT's advertised window allows.
+// Link serialization inside the NIC paces actual delivery.
+func (c *Client) pump() {
+	mss := c.st.Cfg.MSS
+	for {
+		want := 0
+		switch {
+		case c.active:
+			want = mss
+		case c.backlogBytes >= mss:
+			want = mss
+		case c.backlogBytes > 0:
+			want = c.backlogBytes
+		default:
+			return
+		}
+		if int(c.sndNxt-c.sndUna)+want > c.sutWnd {
+			return
+		}
+		c.nic.InjectFromWire(netdev.WireFrame{
+			Conn:   c.conn,
+			Seq:    c.sndNxt,
+			Ack:    c.rcvNxt,
+			Window: c.window,
+			Len:    want,
+			Flags:  netdev.FlagPsh | netdev.FlagAck,
+		})
+		c.sndNxt += uint64(want)
+		c.BytesSent += uint64(want)
+		c.SegsSent++
+		if !c.active {
+			c.backlogBytes -= want
+		}
+	}
+}
+
+// InFlight reports the client source's unacknowledged bytes.
+func (c *Client) InFlight() int { return int(c.sndNxt - c.sndUna) }

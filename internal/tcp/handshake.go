@@ -1,0 +1,153 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kern"
+	"repro/internal/netdev"
+)
+
+// State is a socket's connection state. The paper partitions workloads
+// into "network fast paths", "network connection setup/teardown" and
+// "application processing" (§4); the fast path is what it measures, but
+// the library implements setup/teardown too so workloads with connection
+// churn can be built on it.
+type State int
+
+const (
+	// StateClosed: no connection.
+	StateClosed State = iota
+	// StateSynSent: active open in progress.
+	StateSynSent
+	// StateEstablished: data may flow.
+	StateEstablished
+	// StateFinWait: active close in progress.
+	StateFinWait
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateSynSent:
+		return "SYN_SENT"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateFinWait:
+		return "FIN_WAIT"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// State reports the socket's connection state.
+func (s *Socket) State() State { return s.state }
+
+// NewConnClosed creates the socket/client pair like NewConn but leaves
+// the connection unestablished; the caller drives Connect from a task.
+func (st *Stack) NewConnClosed(conn int, nic *netdev.NIC) (*Socket, *Client) {
+	s, c := st.NewConn(conn, nic)
+	s.state = StateClosed
+	return s, c
+}
+
+// Connect performs the active open (three-way handshake): SYN out,
+// SYN|ACK back from the client, ACK out. It blocks the calling task
+// until the connection is established. Control segments are modelled as
+// sequence-space-free (a simplification documented in DESIGN.md): the
+// handshake costs engine work, wire round-trips and an skb, but data
+// sequence numbers still start at 1.
+func (s *Socket) Connect(env *kern.Env) {
+	if env.Task() == nil {
+		panic("tcp: Connect from softirq context")
+	}
+	if s.state == StateEstablished {
+		return
+	}
+	st := s.st
+	s.lockSock(env)
+	env.Run(st.p.tcpConnect, func(x *cpu.Exec) {
+		x.Instr(900, 0.17, 0.01).
+			Load(s.ctxAddr, 512).Store(s.ctxAddr, 256).
+			Store(s.sockAddr, 128)
+	})
+	s.state = StateSynSent
+	syn := st.Pool.AllocAckSkb(env)
+	s.AcksOut++
+	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
+		Frame: netdev.WireFrame{
+			Conn:   s.Conn,
+			Window: s.advertise(),
+			Flags:  netdev.FlagSyn,
+		},
+		Cookie: syn,
+	})
+	s.releaseSock(env)
+	for s.state != StateEstablished {
+		env.Sleep(s.connWait)
+	}
+}
+
+// Close performs the active close: FIN out, FIN|ACK back, done. It
+// blocks until the connection is closed.
+func (s *Socket) Close(env *kern.Env) {
+	if env.Task() == nil {
+		panic("tcp: Close from softirq context")
+	}
+	if s.state == StateClosed {
+		return
+	}
+	st := s.st
+	s.lockSock(env)
+	env.Run(st.p.tcpClose, func(x *cpu.Exec) {
+		x.Instr(700, 0.17, 0.01).
+			Load(s.ctxAddr, 384).Store(s.ctxAddr, 128).
+			Store(s.sockAddr, 128)
+	})
+	s.state = StateFinWait
+	fin := st.Pool.AllocAckSkb(env)
+	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
+		Frame: netdev.WireFrame{
+			Conn:  s.Conn,
+			Flags: netdev.FlagFin,
+		},
+		Cookie: fin,
+	})
+	s.releaseSock(env)
+	for s.state != StateClosed {
+		env.Sleep(s.connWait)
+	}
+}
+
+// rcvControl handles SYN/FIN segments under the socket lock; it returns
+// true if the packet was a control segment (fully consumed).
+func (s *Socket) rcvControl(env *kern.Env, f netdev.WireFrame) bool {
+	st := s.st
+	switch {
+	case f.Flags&netdev.FlagSyn != 0:
+		env.Run(st.p.tcpConnect, func(x *cpu.Exec) {
+			x.Instr(500, 0.17, 0.01).
+				Load(s.ctxAddr, 256).Store(s.ctxAddr, 128)
+		})
+		if s.state == StateSynSent {
+			// SYN|ACK for our active open.
+			s.state = StateEstablished
+			s.sndWnd = f.Window
+			s.connWait.WakeAll(st.K, env)
+		}
+		return true
+	case f.Flags&netdev.FlagFin != 0:
+		env.Run(st.p.tcpClose, func(x *cpu.Exec) {
+			x.Instr(400, 0.17, 0.01).
+				Load(s.ctxAddr, 256).Store(s.ctxAddr, 128)
+		})
+		if s.state == StateFinWait {
+			s.state = StateClosed
+			s.connWait.WakeAll(st.K, env)
+		}
+		return true
+	}
+	return false
+}

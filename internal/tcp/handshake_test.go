@@ -1,0 +1,122 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+	"repro/internal/perf"
+)
+
+func TestConnectEstablishesThenTransfers(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// Rebuild the connection unestablished on a fresh conn id.
+	sock, client := r.st.NewConnClosed(2, r.nic)
+	if sock.State() != StateClosed {
+		t.Fatalf("initial state %v, want CLOSED", sock.State())
+	}
+	userBuf := r.k.Space.AllocPage(16<<10, "userbuf")
+	var wrote bool
+	r.k.Spawn("dialer", 0, 0, func(e *kern.Env) {
+		sock.Connect(e)
+		if sock.State() != StateEstablished {
+			t.Errorf("post-connect state %v", sock.State())
+		}
+		sock.Write(e, userBuf, 16<<10)
+		wrote = true
+		sock.Close(e)
+	})
+	r.eng.Run(2_000_000_000)
+	if !wrote {
+		t.Fatal("transfer after connect never completed")
+	}
+	if sock.State() != StateClosed {
+		t.Fatalf("post-close state %v, want CLOSED", sock.State())
+	}
+	if client.BytesReceived != 16<<10 {
+		t.Fatalf("client received %d bytes", client.BytesReceived)
+	}
+}
+
+func TestConnectIsIdempotentWhenEstablished(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	var done bool
+	r.k.Spawn("d", 0, 0, func(e *kern.Env) {
+		r.s.Connect(e) // NewConn sockets start established
+		done = true
+	})
+	r.eng.Run(100_000_000)
+	if !done {
+		t.Fatal("Connect on established socket blocked")
+	}
+}
+
+func TestCloseIsIdempotentWhenClosed(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	sock, _ := r.st.NewConnClosed(3, r.nic)
+	var done bool
+	r.k.Spawn("d", 0, 0, func(e *kern.Env) {
+		sock.Close(e)
+		done = true
+	})
+	r.eng.Run(100_000_000)
+	if !done {
+		t.Fatal("Close on closed socket blocked")
+	}
+}
+
+func TestHandshakeCostsLandInEngine(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	sock, _ := r.st.NewConnClosed(4, r.nic)
+	r.k.Spawn("d", 0, 0, func(e *kern.Env) {
+		sock.Connect(e)
+		sock.Close(e)
+	})
+	r.eng.Run(1_000_000_000)
+	conn := r.tab.Lookup("tcp_connect")
+	cls := r.tab.Lookup("tcp_close")
+	if r.ctr.SymbolTotal(conn, perf.Instructions) == 0 {
+		t.Error("tcp_connect charged no instructions")
+	}
+	if r.ctr.SymbolTotal(cls, perf.Instructions) == 0 {
+		t.Error("tcp_close charged no instructions")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateClosed: "CLOSED", StateSynSent: "SYN_SENT",
+		StateEstablished: "ESTABLISHED", StateFinWait: "FIN_WAIT",
+		State(9): "state(9)",
+	} {
+		if st.String() != want {
+			t.Errorf("%d -> %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+func TestConnectionChurnKeepsPoolBalanced(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	sock, _ := r.st.NewConnClosed(5, r.nic)
+	free0 := r.st.Pool.FreeCloneCount()
+	userBuf := r.k.Space.AllocPage(8<<10, "userbuf")
+	cycles := 0
+	r.k.Spawn("churn", 0, 0, func(e *kern.Env) {
+		for i := 0; i < 5; i++ {
+			sock.Connect(e)
+			sock.Write(e, userBuf, 8<<10)
+			sock.Close(e)
+			cycles++
+		}
+	})
+	r.eng.Run(4_000_000_000)
+	r.eng.Run(r.eng.Now() + 200_000_000)
+	if cycles != 5 {
+		t.Fatalf("completed %d connect/transfer/close cycles, want 5", cycles)
+	}
+	if got := r.st.Pool.FreeCloneCount(); got != free0 {
+		t.Fatalf("clone pool leaked across churn: %d vs %d", got, free0)
+	}
+	if err := r.st.Pool.check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apic"
+	"repro/internal/cpu"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/netdev"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// Receive-side scaling — the paper's §8 future work: the NIC extracts
+// flow information and directs each connection's interrupts to a
+// specific processor. With two multi-queue ports carrying eight
+// connections, RSS spreads interrupt (and therefore softirq) load across
+// both CPUs without any static pinning; without it, everything lands on
+// CPU0.
+func runRSS(t *testing.T, rss bool) (mbps float64, irqCPU [2]uint64) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	tab := perf.NewSymbolTable()
+	ctr := perf.NewCounters(tab, 2)
+	k := kern.New(kern.Config{
+		Engine: eng, Space: mem.NewSpace(), Table: tab, Ctr: ctr,
+		NumCPUs: 2, CPU: cpu.DefaultConfig(), Tune: kern.DefaultTuning(),
+	})
+	t.Cleanup(k.Shutdown)
+	st := New(k, DefaultConfig())
+
+	mkNIC := func(vecs []apic.Vector) *netdev.NIC {
+		cfg := netdev.DefaultNICConfig(vecs[0])
+		// The RSS era is 10 GbE — the paper's own motivation (§1): at
+		// 10 Gb/s per port the processors, not the wire, limit
+		// throughput, which is where interrupt spreading pays.
+		cfg.LinkBps = 10_000_000_000
+		if rss {
+			cfg.QueueVectors = vecs
+		}
+		n := st.AddNICWithConfig(cfg)
+		if rss {
+			// Each queue's vector is routed to its own processor.
+			for qi, v := range vecs {
+				if err := k.APIC.SetAffinity(v, 1<<uint(qi)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return n
+	}
+	nicA := mkNIC([]apic.Vector{0x19, 0x23})
+	nicB := mkNIC([]apic.Vector{0x1a, 0x24})
+
+	var clients []*Client
+	buf := k.Space.AllocPage(64<<10, "buf")
+	for conn := 0; conn < 8; conn++ {
+		nic := nicA
+		if conn >= 4 {
+			nic = nicB
+		}
+		sock, client := st.NewConn(conn, nic)
+		clients = append(clients, client)
+		conn := conn
+		k.Spawn(fmt.Sprintf("w%d", conn), conn%2, 0, func(e *kern.Env) {
+			for {
+				sock.Write(e, buf, 16<<10)
+			}
+		})
+	}
+	k.StartTicks()
+	eng.Run(60_000_000)
+	var start uint64
+	for _, c := range clients {
+		start += c.BytesReceived
+	}
+	irq0 := ctr.CPUTotal(0, perf.IRQsReceived)
+	irq1 := ctr.CPUTotal(1, perf.IRQsReceived)
+	eng.Run(eng.Now() + 120_000_000)
+	var end uint64
+	for _, c := range clients {
+		end += c.BytesReceived
+	}
+	mbps = float64(end-start) * 8 / (120e6 / 2e9) / 1e6
+	irqCPU[0] = ctr.CPUTotal(0, perf.IRQsReceived) - irq0
+	irqCPU[1] = ctr.CPUTotal(1, perf.IRQsReceived) - irq1
+	return mbps, irqCPU
+}
+
+func TestRSSSpreadsInterruptLoad(t *testing.T) {
+	_, base := runRSS(t, false)
+	if base[1] != 0 {
+		t.Fatalf("without RSS, CPU1 took %d interrupts (default mask should pin CPU0)", base[1])
+	}
+	_, spread := runRSS(t, true)
+	if spread[0] == 0 || spread[1] == 0 {
+		t.Fatalf("RSS did not spread interrupts: %v", spread)
+	}
+	ratio := float64(spread[0]) / float64(spread[0]+spread[1])
+	if ratio < 0.25 || ratio > 0.75 {
+		t.Errorf("RSS interrupt split %v badly skewed", spread)
+	}
+}
+
+func TestRSSImprovesThroughput(t *testing.T) {
+	mbpsBase, _ := runRSS(t, false)
+	mbpsRSS, _ := runRSS(t, true)
+	if mbpsRSS <= mbpsBase*1.02 {
+		t.Errorf("RSS %.0f Mb/s not above single-queue %.0f", mbpsRSS, mbpsBase)
+	}
+}
