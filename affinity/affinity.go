@@ -113,7 +113,29 @@ func NewMachine(cfg Config) *Machine { return core.NewMachine(cfg) }
 // Machine.NewSampler to sample where the processors spend their time.
 type Sampler = core.Sampler
 
-// RunSweep measures every (mode, size) cell for one direction.
+// Runner fans independent runs out across a bounded worker pool and
+// reassembles results in deterministic input order. Every simulation is
+// single-threaded and seeded, so parallel results are bit-identical to
+// sequential ones; parallelism changes wall-clock time only.
+type Runner = core.Runner
+
+// WorkersEnv is the environment variable that overrides the default
+// worker count (a positive integer).
+const WorkersEnv = core.WorkersEnv
+
+// NewRunner returns a runner bounded to the given number of workers:
+// 0 selects GOMAXPROCS (overridable via WorkersEnv), 1 forces serial
+// execution — the opt-out for callers that need sequential runs.
+func NewRunner(workers int) *Runner { return core.NewRunner(workers) }
+
+// RunAll runs every configuration concurrently on the default worker
+// pool and returns the results in input order, bit-identical to calling
+// Run on each configuration sequentially.
+func RunAll(cfgs []Config) []*Result { return core.RunAll(cfgs) }
+
+// RunSweep measures every (mode, size) cell for one direction. Cells run
+// concurrently on the default worker pool; use NewRunner(1).RunSweep for
+// serial execution. Results are bit-identical either way.
 func RunSweep(base Config, dir Direction, sizes []int, modes []Mode) Sweep {
 	return core.RunSweep(base, dir, sizes, modes)
 }
@@ -123,7 +145,8 @@ type Aggregate = core.Aggregate
 
 // RunSeeds measures cfg under n consecutive seeds and aggregates the
 // headline metrics (mean ± stdev), playing the role of run-to-run
-// variance in a deterministic simulator.
+// variance in a deterministic simulator. Seeds run concurrently on the
+// default worker pool; use NewRunner(1).RunSeeds for serial execution.
 func RunSeeds(cfg Config, n int) Aggregate { return core.RunSeeds(cfg, n) }
 
 // Compare performs the paper's §6.3 analysis between a baseline run and
@@ -138,9 +161,16 @@ type Check = core.Check
 
 // VerifyShape runs the experiment suite and scores every reproduction
 // claim from EXPERIMENTS.md — the executable form of that document. Pass
-// nil to use the paper's default operating points.
+// nil to use the paper's default operating points. The underlying runs
+// execute concurrently on the default worker pool; see VerifyShapeWith.
 func VerifyShape(cfgFor func(Mode, Direction, int) Config) []Check {
 	return core.VerifyShape(cfgFor)
+}
+
+// VerifyShapeWith is VerifyShape on an explicit runner (nil = default;
+// NewRunner(1) scores from strictly sequential runs).
+func VerifyShapeWith(r *Runner, cfgFor func(Mode, Direction, int) Config) []Check {
+	return core.VerifyShapeWith(r, cfgFor)
 }
 
 // FormatChecks renders a verification scorecard.

@@ -75,6 +75,25 @@ func benchFig4(b *testing.B, dir affinity.Direction) {
 	}
 }
 
+// --- Host parallelism: serial vs parallel sweep execution ---
+
+// sweepBench runs a reduced Figure 3/4 sweep (2 sizes × 4 modes = 8
+// cells) through an explicit runner, so the serial/parallel pair
+// isolates the worker pool's wall-clock effect. Results are bit-identical
+// across the pair; only the elapsed time differs.
+func sweepBench(b *testing.B, workers int) {
+	base := benchConfig(affinity.ModeNone, affinity.TX, 128)
+	runner := affinity.NewRunner(workers)
+	var sw affinity.Sweep
+	for i := 0; i < b.N; i++ {
+		sw = runner.RunSweep(base, affinity.TX, []int{128, 65536}, affinity.Modes())
+	}
+	b.ReportMetric(float64(len(sw.Points)), "cells")
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { sweepBench(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, 0) }
+
 // --- Table 1: baseline bin characterization at the extreme points ---
 
 func BenchmarkTable1(b *testing.B) {

@@ -11,6 +11,11 @@
 //	-quick             shorter measurement windows (faster, noisier)
 //	-csv               also emit CSV for the sweep figures
 //	-seed  n           simulation seed
+//	-workers n         parallel simulation workers (0 = GOMAXPROCS, 1 = serial)
+//
+// Independent simulation cells run concurrently across -workers
+// goroutines; because every cell is a single-threaded seeded simulation,
+// the output is byte-identical to a serial (-workers 1) run.
 package main
 
 import (
@@ -30,7 +35,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	seeds := flag.Int("seeds", 1, "seeds per cell for the headline summary (mean ± stdev)")
 	verify := flag.Bool("verify", false, "score every reproduction claim (executable EXPERIMENTS.md)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	runner := affinity.NewRunner(*workers)
 
 	if *verify {
 		cfgFor := func(m affinity.Mode, d affinity.Direction, size int) affinity.Config {
@@ -42,13 +50,13 @@ func main() {
 			}
 			return c
 		}
-		fmt.Print(core.FormatChecks(core.VerifyShape(cfgFor)))
+		fmt.Print(core.FormatChecks(core.VerifyShapeWith(runner, cfgFor)))
 		return
 	}
 	if *fig == 0 && *table == 0 {
 		*all = true
 	}
-	g := generator{quick: *quick, seed: *seed, csv: *csv}
+	g := generator{quick: *quick, seed: *seed, csv: *csv, runner: runner}
 
 	if *seeds > 1 {
 		g.headline(*seeds)
@@ -74,12 +82,20 @@ func main() {
 }
 
 type generator struct {
-	quick bool
-	seed  uint64
-	csv   bool
+	quick  bool
+	seed   uint64
+	csv    bool
+	runner *affinity.Runner
 
 	// memoized extreme-point runs shared by tables 1-5 and figure 5
 	runs map[string]*affinity.Result
+}
+
+// cell identifies one memoized run.
+type cell struct {
+	mode affinity.Mode
+	dir  affinity.Direction
+	size int
 }
 
 func (g *generator) base(mode affinity.Mode, dir affinity.Direction, size int) affinity.Config {
@@ -92,17 +108,51 @@ func (g *generator) base(mode affinity.Mode, dir affinity.Direction, size int) a
 	return cfg
 }
 
-func (g *generator) run(mode affinity.Mode, dir affinity.Direction, size int) *affinity.Result {
+// ensure runs every not-yet-memoized cell concurrently on the worker
+// pool, so each table section's runs overlap instead of executing one
+// after another. Memoized results are reused across sections.
+func (g *generator) ensure(cells ...cell) {
 	if g.runs == nil {
 		g.runs = make(map[string]*affinity.Result)
 	}
-	key := fmt.Sprintf("%v-%v-%d", mode, dir, size)
-	if r, ok := g.runs[key]; ok {
-		return r
+	var missing []cell
+	for _, c := range cells {
+		if _, ok := g.runs[cellKey(c)]; !ok {
+			missing = append(missing, c)
+		}
 	}
-	r := affinity.Run(g.base(mode, dir, size))
-	g.runs[key] = r
-	return r
+	if len(missing) == 0 {
+		return
+	}
+	var cfgs []affinity.Config
+	for _, c := range missing {
+		cfgs = append(cfgs, g.base(c.mode, c.dir, c.size))
+	}
+	results := g.runner.RunConfigs(cfgs)
+	for i, c := range missing {
+		g.runs[cellKey(c)] = results[i]
+	}
+}
+
+func cellKey(c cell) string {
+	return fmt.Sprintf("%v-%v-%d", c.mode, c.dir, c.size)
+}
+
+func (g *generator) run(mode affinity.Mode, dir affinity.Direction, size int) *affinity.Result {
+	g.ensure(cell{mode, dir, size})
+	return g.runs[cellKey(cell{mode, dir, size})]
+}
+
+// extremeCells lists the no-affinity/full-affinity runs at the §6
+// extreme points — the cells tables 1-5 and figure 5 share.
+func extremeCells() []cell {
+	var cells []cell
+	for _, pt := range core.ExtremePoints() {
+		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
+			cells = append(cells, cell{mode, pt.Dir, pt.Size})
+		}
+	}
+	return cells
 }
 
 // headline prints the four 64 KB mode results aggregated over several
@@ -110,7 +160,7 @@ func (g *generator) run(mode affinity.Mode, dir affinity.Direction, size int) *a
 func (g *generator) headline(seeds int) {
 	fmt.Printf("=== Headline (TX 64KB) over %d seeds ===\n", seeds)
 	for _, mode := range affinity.Modes() {
-		agg := affinity.RunSeeds(g.base(mode, affinity.TX, 65536), seeds)
+		agg := g.runner.RunSeeds(g.base(mode, affinity.TX, 65536), seeds)
 		fmt.Println(agg)
 	}
 	fmt.Println()
@@ -118,7 +168,7 @@ func (g *generator) headline(seeds int) {
 
 func (g *generator) sweepFigures(want3, want4 bool) {
 	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
-		sw := affinity.RunSweep(g.base(affinity.ModeNone, dir, 128), dir, affinity.Sizes(), affinity.Modes())
+		sw := g.runner.RunSweep(g.base(affinity.ModeNone, dir, 128), dir, affinity.Sizes(), affinity.Modes())
 		if want3 {
 			fmt.Println("=== Figure 3:", dir, "bandwidth and CPU utilization ===")
 			fmt.Print(sw.FormatFig3())
@@ -137,6 +187,7 @@ func (g *generator) sweepFigures(want3, want4 bool) {
 }
 
 func (g *generator) table1() {
+	g.ensure(extremeCells()...)
 	fmt.Println("=== Table 1: baseline characterization (no affinity vs full affinity) ===")
 	for _, pt := range core.ExtremePoints() {
 		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
@@ -149,6 +200,7 @@ func (g *generator) table1() {
 }
 
 func (g *generator) table2() {
+	g.ensure(cell{affinity.ModeNone, affinity.TX, 65536}, cell{affinity.ModeFull, affinity.TX, 65536})
 	fmt.Println("=== Table 2: spinlock behaviour (Locks bin, TX 64KB) ===")
 	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
 		r := g.run(mode, affinity.TX, 65536)
@@ -160,6 +212,7 @@ func (g *generator) table2() {
 }
 
 func (g *generator) table3and5() {
+	g.ensure(extremeCells()...)
 	fmt.Println("=== Table 3: relating improvements to events (and Table 5 correlations) ===")
 	for _, pt := range core.ExtremePoints() {
 		base := g.run(affinity.ModeNone, pt.Dir, pt.Size)
@@ -170,6 +223,13 @@ func (g *generator) table3and5() {
 }
 
 func (g *generator) table4() {
+	var cells []cell
+	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
+		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
+			cells = append(cells, cell{mode, dir, 128})
+		}
+	}
+	g.ensure(cells...)
 	fmt.Println("=== Table 4: symbols with highest machine clears (TX/RX 128B) ===")
 	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
 		for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
@@ -182,6 +242,7 @@ func (g *generator) table4() {
 }
 
 func (g *generator) fig5() {
+	g.ensure(extremeCells()...)
 	fmt.Println("=== Figure 5: performance impact indicators ===")
 	for _, pt := range core.ExtremePoints() {
 		base := g.run(affinity.ModeNone, pt.Dir, pt.Size)

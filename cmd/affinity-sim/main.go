@@ -11,6 +11,8 @@
 //	-seed   n                    simulation seed (default 1)
 //	-warmup cycles               warmup window (default 60e6)
 //	-measure cycles              measured window (default 240e6)
+//	-seeds   n                   run n consecutive seeds, print mean ± stdev
+//	-workers n                   parallel workers for -seeds (0 = GOMAXPROCS, 1 = serial)
 //	-table1                      print the Table 1 bin characterization
 //	-fig5                        print the Figure 5 impact indicators
 //	-table4                      print the Table 4 per-CPU clear symbols
@@ -32,6 +34,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 60_000_000, "warmup cycles")
 	measure := flag.Uint64("measure", 240_000_000, "measured cycles")
+	seeds := flag.Int("seeds", 1, "run n consecutive seeds and print the aggregate")
+	workers := flag.Int("workers", 0, "parallel workers for -seeds (0 = GOMAXPROCS, 1 = serial)")
 	table1 := flag.Bool("table1", false, "print Table 1 bin characterization")
 	fig5 := flag.Bool("fig5", false, "print Figure 5 impact indicators")
 	table4 := flag.Bool("table4", false, "print Table 4 per-CPU machine-clear symbols")
@@ -58,6 +62,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
+
+	if *seeds > 1 {
+		// Aggregate mode: fan the seeds across the worker pool and print
+		// the mean ± stdev summary; the per-run tables don't apply.
+		agg := affinity.NewRunner(*workers).RunSeeds(cfg, *seeds)
+		fmt.Println(agg)
+		return
+	}
 
 	r := affinity.Run(cfg)
 	if *jsonOut {

@@ -6,6 +6,10 @@
 // 2.6-style rotating interrupt distribution, reported as a fifth
 // "mode" column for comparison.
 //
+// The cells of each direction run concurrently across the host's cores
+// (affinity.RunAll); rows print in the same deterministic order — and
+// with the same values — as a serial sweep.
+//
 //	go run ./examples/scheduler-study > sweep.csv
 package main
 
@@ -21,25 +25,31 @@ func main() {
 	fmt.Println("dir,size,mode,mbps,util,cost_ghz_per_gbps")
 
 	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
+		var labels []string
+		var cfgs []affinity.Config
+		add := func(label string, cfg affinity.Config) {
+			// A shorter window keeps the 70-cell sweep quick; bump for
+			// precision.
+			cfg.WarmupCycles = 30_000_000
+			cfg.MeasureCycles = 100_000_000
+			labels = append(labels, label)
+			cfgs = append(cfgs, cfg)
+		}
 		for _, size := range sizes {
 			for _, mode := range affinity.Modes() {
-				emit(dir, size, mode.String(), affinity.DefaultConfig(mode, dir, size))
+				add(mode.String(), affinity.DefaultConfig(mode, dir, size))
 			}
 			// The 2.6-style rotating IRQ policy (paper §7): random-ish
 			// redistribution fixes the CPU0 bottleneck but keeps cache
 			// inefficiencies, and pays for TPR updates.
 			cfg := affinity.DefaultConfig(affinity.ModeNone, dir, size)
 			cfg.RotateIRQs = true
-			emit(dir, size, "Rotate IRQ", cfg)
+			add("Rotate IRQ", cfg)
+		}
+		for i, r := range affinity.RunAll(cfgs) {
+			fmt.Printf("%s,%d,%s,%.2f,%.4f,%.4f\n",
+				dir, cfgs[i].Size, labels[i], r.Mbps, r.AvgUtil, r.CostGHzPerGbps)
 		}
 		fmt.Fprintf(os.Stderr, "%s sweep done\n", dir)
 	}
-}
-
-func emit(dir affinity.Direction, size int, label string, cfg affinity.Config) {
-	// A shorter window keeps the 70-cell sweep quick; bump for precision.
-	cfg.WarmupCycles = 30_000_000
-	cfg.MeasureCycles = 100_000_000
-	r := affinity.Run(cfg)
-	fmt.Printf("%s,%d,%s,%.2f,%.4f,%.4f\n", dir, size, label, r.Mbps, r.AvgUtil, r.CostGHzPerGbps)
 }

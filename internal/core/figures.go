@@ -29,26 +29,11 @@ type Sweep struct {
 
 // RunSweep measures every affinity mode at every transaction size for one
 // direction — the data behind Figures 3 and 4. The base config supplies
-// everything except mode and size.
+// everything except mode and size. Cells run concurrently on the default
+// runner; use NewRunner(1).RunSweep for serial execution. Results are
+// bit-identical either way.
 func RunSweep(base Config, dir ttcp.Direction, sizes []int, modes []Mode) Sweep {
-	sw := Sweep{Dir: dir}
-	for _, size := range sizes {
-		for _, mode := range modes {
-			cfg := base
-			cfg.Mode = mode
-			cfg.Dir = dir
-			cfg.Size = size
-			r := Run(cfg)
-			sw.Points = append(sw.Points, SweepPoint{
-				Mode: mode,
-				Size: size,
-				Mbps: r.Mbps,
-				Util: r.AvgUtil,
-				Cost: r.CostGHzPerGbps,
-			})
-		}
-	}
-	return sw
+	return defaultRunner.RunSweep(base, dir, sizes, modes)
 }
 
 // Point finds a sweep cell.

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ttcp"
+)
+
+// runnerTestConfig keeps the windows short: determinism, not fidelity, is
+// under test here.
+func runnerTestConfig(mode Mode, dir ttcp.Direction, size int) Config {
+	cfg := DefaultConfig(mode, dir, size)
+	cfg.WarmupCycles = 5_000_000
+	cfg.MeasureCycles = 20_000_000
+	return cfg
+}
+
+func TestRunnerDoRunsEveryJobExactlyOnce(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 200} {
+		var counts [n]atomic.Int32
+		NewRunner(workers).Do(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunnerSerialPreservesOrder(t *testing.T) {
+	var order []int
+	NewRunner(1).Do(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial runner reordered jobs: %v", order)
+		}
+	}
+}
+
+func TestRunnerDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a job did not propagate to the caller")
+		}
+	}()
+	NewRunner(4).Do(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunnerWorkersResolution(t *testing.T) {
+	if NewRunner(3).Workers() != 3 {
+		t.Fatal("explicit worker count not honoured")
+	}
+	if NewRunner(0).Workers() < 1 {
+		t.Fatal("default worker count must be at least 1")
+	}
+	t.Setenv(WorkersEnv, "7")
+	if NewRunner(0).Workers() != 7 {
+		t.Fatalf("WorkersEnv override ignored: got %d", NewRunner(0).Workers())
+	}
+	if NewRunner(2).Workers() != 2 {
+		t.Fatal("explicit worker count must beat WorkersEnv")
+	}
+	t.Setenv(WorkersEnv, "junk")
+	if NewRunner(0).Workers() < 1 {
+		t.Fatal("invalid WorkersEnv must fall back to GOMAXPROCS")
+	}
+}
+
+// TestParallelSweepBitIdentical is the correctness anchor of the runner:
+// a parallel sweep must render byte-identically to a serial one.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison in -short mode")
+	}
+	base := runnerTestConfig(ModeNone, ttcp.TX, 128)
+	sizes := []int{128, 4096, 65536}
+	modes := Modes()
+
+	serial := NewRunner(1).RunSweep(base, ttcp.TX, sizes, modes)
+	parallel := NewRunner(8).RunSweep(base, ttcp.TX, sizes, modes)
+
+	if got, want := parallel.FormatFig3(), serial.FormatFig3(); got != want {
+		t.Errorf("FormatFig3 diverged:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := parallel.FormatFig4(), serial.FormatFig4(); got != want {
+		t.Errorf("FormatFig4 diverged:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := parallel.CSV(), serial.CSV(); got != want {
+		t.Errorf("CSV diverged:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestParallelSeedsBitIdentical checks RunSeeds: the aggregate (means,
+// stdevs, per-seed order) must not depend on the worker count.
+func TestParallelSeedsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed comparison in -short mode")
+	}
+	cfg := runnerTestConfig(ModeFull, ttcp.TX, 65536)
+
+	serial := NewRunner(1).RunSeeds(cfg, 4)
+	parallel := NewRunner(4).RunSeeds(cfg, 4)
+
+	if got, want := parallel.String(), serial.String(); got != want {
+		t.Errorf("aggregate diverged:\nserial:   %s\nparallel: %s", want, got)
+	}
+	if len(parallel.Results) != len(serial.Results) {
+		t.Fatalf("result count diverged: %d vs %d", len(parallel.Results), len(serial.Results))
+	}
+	for i := range serial.Results {
+		if parallel.Results[i].Cfg.Seed != serial.Results[i].Cfg.Seed {
+			t.Errorf("seed order diverged at %d: %d vs %d",
+				i, parallel.Results[i].Cfg.Seed, serial.Results[i].Cfg.Seed)
+		}
+		if parallel.Results[i].String() != serial.Results[i].String() {
+			t.Errorf("per-seed result diverged at %d:\nserial:   %s\nparallel: %s",
+				i, serial.Results[i], parallel.Results[i])
+		}
+	}
+}
+
+// TestRunAllMatchesSequentialRun checks the facade-level batch entry
+// point against individual Run calls.
+func TestRunAllMatchesSequentialRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch comparison in -short mode")
+	}
+	cfgs := []Config{
+		runnerTestConfig(ModeNone, ttcp.TX, 1024),
+		runnerTestConfig(ModeFull, ttcp.RX, 1024),
+		runnerTestConfig(ModeIRQ, ttcp.TX, 128),
+	}
+	batch := NewRunner(3).RunConfigs(cfgs)
+	for i, cfg := range cfgs {
+		want := Run(cfg)
+		if batch[i].String() != want.String() {
+			t.Errorf("cell %d diverged:\nsequential: %s\nbatch:      %s", i, want, batch[i])
+		}
+		if batch[i].Bytes != want.Bytes || batch[i].Transactions != want.Transactions {
+			t.Errorf("cell %d raw counters diverged: bytes %d vs %d, txns %d vs %d",
+				i, batch[i].Bytes, want.Bytes, batch[i].Transactions, want.Transactions)
+		}
+	}
+}
+
+// TestVerifyShapeWithRunnerIdentical: the verification scorecard must not
+// depend on the worker count either.
+func TestVerifyShapeWithRunnerIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification comparison in -short mode")
+	}
+	serial := VerifyShapeWith(NewRunner(1), runnerTestConfig)
+	parallel := VerifyShapeWith(NewRunner(8), runnerTestConfig)
+	if FormatChecks(parallel) != FormatChecks(serial) {
+		t.Errorf("scorecard diverged:\nserial:\n%s\nparallel:\n%s",
+			FormatChecks(serial), FormatChecks(parallel))
+	}
+}

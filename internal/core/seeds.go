@@ -21,17 +21,21 @@ type Aggregate struct {
 }
 
 // RunSeeds measures cfg under n consecutive seeds starting at cfg.Seed.
+// Seeds run concurrently on the default runner; use NewRunner(1).RunSeeds
+// for serial execution. Results are bit-identical either way.
 func RunSeeds(cfg Config, n int) Aggregate {
 	if n <= 0 {
 		panic("core: RunSeeds needs at least one seed")
 	}
-	agg := Aggregate{Cfg: cfg, Seeds: n}
+	return defaultRunner.RunSeeds(cfg, n)
+}
+
+// aggregate folds per-seed results (already in seed order) into the
+// mean/stdev summary.
+func aggregate(cfg Config, results []*Result) Aggregate {
+	agg := Aggregate{Cfg: cfg, Seeds: len(results), Results: results}
 	var mbps, cost, util []float64
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)
-		r := Run(c)
-		agg.Results = append(agg.Results, r)
+	for _, r := range results {
 		mbps = append(mbps, r.Mbps)
 		cost = append(cost, r.CostGHzPerGbps)
 		util = append(util, r.AvgUtil)

@@ -22,9 +22,38 @@ type Check struct {
 // claim from EXPERIMENTS.md. It is the executable form of that document:
 // the acceptance bands encode "same shape as the paper", not absolute
 // equality. cfgFor lets callers shrink windows (tests) or change seeds.
+// The underlying runs execute concurrently on the default runner; see
+// VerifyShapeWith for an explicit (or serial) runner.
 func VerifyShape(cfgFor func(Mode, ttcp.Direction, int) Config) []Check {
+	return VerifyShapeWith(nil, cfgFor)
+}
+
+// verifyPoints are the distinct operating points the VerifyShape checks
+// consume, prefetched concurrently before the (serial) scoring pass.
+var verifyPoints = []struct {
+	M    Mode
+	D    ttcp.Direction
+	Size int
+}{
+	{ModeNone, ttcp.TX, 65536},
+	{ModeProc, ttcp.TX, 65536},
+	{ModeIRQ, ttcp.TX, 65536},
+	{ModeFull, ttcp.TX, 65536},
+	{ModeNone, ttcp.TX, 128},
+	{ModeFull, ttcp.TX, 128},
+	{ModeNone, ttcp.RX, 65536},
+}
+
+// VerifyShapeWith is VerifyShape on an explicit runner (nil = the default
+// runner; NewRunner(1) scores from strictly sequential runs). Scores are
+// bit-identical regardless of the runner: every run is an independent
+// seeded simulation.
+func VerifyShapeWith(r *Runner, cfgFor func(Mode, ttcp.Direction, int) Config) []Check {
 	if cfgFor == nil {
 		cfgFor = DefaultConfig
+	}
+	if r == nil {
+		r = &defaultRunner
 	}
 	var checks []Check
 	add := func(id, claim string, pass bool, measured string, args ...any) {
@@ -34,16 +63,29 @@ func VerifyShape(cfgFor func(Mode, ttcp.Direction, int) Config) []Check {
 		})
 	}
 
-	// Cache the runs each check needs.
+	// Prefetch every known operating point in parallel, then let the
+	// checks read from the cache; get falls back to a direct run for any
+	// point not in verifyPoints.
+	key := func(m Mode, d ttcp.Direction, size int) string {
+		return fmt.Sprintf("%v/%v/%d", m, d, size)
+	}
+	prefetched := make([]*Result, len(verifyPoints))
+	r.Do(len(verifyPoints), func(i int) {
+		p := verifyPoints[i]
+		prefetched[i] = Run(cfgFor(p.M, p.D, p.Size))
+	})
 	runs := map[string]*Result{}
+	for i, p := range verifyPoints {
+		runs[key(p.M, p.D, p.Size)] = prefetched[i]
+	}
 	get := func(m Mode, d ttcp.Direction, size int) *Result {
-		key := fmt.Sprintf("%v/%v/%d", m, d, size)
-		if r, ok := runs[key]; ok {
+		k := key(m, d, size)
+		if r, ok := runs[k]; ok {
 			return r
 		}
-		r := Run(cfgFor(m, d, size))
-		runs[key] = r
-		return r
+		res := Run(cfgFor(m, d, size))
+		runs[k] = res
+		return res
 	}
 
 	// --- Figure 3: ordering and gains ---

@@ -1,8 +1,6 @@
 package kern
 
 import (
-	"container/heap"
-
 	"repro/internal/cpu"
 	"repro/internal/sim"
 )
@@ -21,33 +19,99 @@ type Timer struct {
 // Active reports whether the timer is armed.
 func (t *Timer) Active() bool { return t.idx >= 0 }
 
+// timerHeap is a concrete 4-ary min-heap ordered by (expires, seq). Like
+// the event queue in internal/sim it avoids container/heap's interface
+// boxing on the arm/disarm churn path; the (expires, seq) order is total,
+// so expiry order is independent of heap internals.
 type timerHeap []*Timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].expires != h[j].expires {
-		return h[i].expires < h[j].expires
+const timerHeapArity = 4
+
+func timerLess(a, b *Timer) bool {
+	if a.expires != b.expires {
+		return a.expires < b.expires
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+func (h timerHeap) siftUp(i int) {
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) / timerHeapArity
+		if !timerLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = i
+		i = p
+	}
+	h[i] = t
+	t.idx = i
 }
-func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
+
+func (h timerHeap) siftDown(i int) {
+	n := len(h)
+	t := h[i]
+	for {
+		first := timerHeapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + timerHeapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if timerLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !timerLess(h[min], t) {
+			break
+		}
+		h[i] = h[min]
+		h[i].idx = i
+		i = min
+	}
+	h[i] = t
+	t.idx = i
+}
+
+func (h *timerHeap) push(t *Timer) {
 	t.idx = len(*h)
 	*h = append(*h, t)
+	h.siftUp(t.idx)
 }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.idx = -1
-	*h = old[:n-1]
+
+func (h *timerHeap) popMin() *Timer {
+	t := (*h)[0]
+	h.removeAt(0)
 	return t
+}
+
+// removeAt deletes the timer at heap index i.
+func (h *timerHeap) removeAt(i int) {
+	old := *h
+	n := len(old) - 1
+	t := old[i]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		old[i] = last
+		last.idx = i
+		h.fix(i)
+	}
+	t.idx = -1
+}
+
+// fix restores heap order after the timer at index i changed its key.
+// If siftDown sank the element, position i now holds a former descendant
+// already >= parent(i), so the follow-up siftUp is a no-op.
+func (h timerHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
 }
 
 type timerWheel struct {
@@ -72,23 +136,23 @@ func (k *Kernel) ModTimer(t *Timer, expires sim.Time) {
 	w := k.timers
 	t.expires = expires
 	if t.idx >= 0 {
-		heap.Fix(&w.heap, t.idx)
+		w.heap.fix(t.idx)
 		return
 	}
 	w.seq++
 	t.seq = w.seq
-	heap.Push(&w.heap, t)
+	w.heap.push(t)
 }
 
 // DelTimer disarms t if armed.
 func (k *Kernel) DelTimer(t *Timer) {
 	if t.idx >= 0 {
-		heap.Remove(&k.timers.heap, t.idx)
+		k.timers.heap.removeAt(t.idx)
 	}
 }
 
 // ArmedTimers reports how many timers are armed (tests).
-func (k *Kernel) ArmedTimers() int { return k.timers.heap.Len() }
+func (k *Kernel) ArmedTimers() int { return len(k.timers.heap) }
 
 // expireTimers moves due timers to c's pending list and raises the timer
 // softirq there, mirroring 2.4's "timers run as a bottom half on the CPU
@@ -97,8 +161,8 @@ func (k *Kernel) expireTimers(c *KCPU) {
 	w := k.timers
 	now := k.Eng.Now()
 	moved := false
-	for w.heap.Len() > 0 && w.heap[0].expires <= now {
-		t := heap.Pop(&w.heap).(*Timer)
+	for len(w.heap) > 0 && w.heap[0].expires <= now {
+		t := w.heap.popMin()
 		w.pending[c.id] = append(w.pending[c.id], t)
 		moved = true
 	}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -25,10 +24,17 @@ type Cycles = uint64
 // Event is a scheduled callback. Events fire in (time, sequence) order so
 // that simultaneous events run in their scheduling order, which keeps runs
 // reproducible.
+//
+// Fired events are recycled through the engine's free list, so an *Event
+// handle is only meaningful while the event is pending: use it to Cancel
+// before the event fires, then drop it. (Cancelling an already-fired or
+// already-cancelled event remains a no-op as long as the handle has not
+// been reused by a later schedule.)
 type Event struct {
 	at   Time
 	seq  uint64
 	fn   func()
+	eng  *Engine
 	idx  int // heap index, -1 when not queued
 	dead bool
 }
@@ -37,53 +43,57 @@ type Event struct {
 func (e *Event) At() Time { return e.at }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.dead = true }
+// already fired (or was already cancelled) is a no-op. The event stays in
+// the queue until it is popped or a compaction sweeps it out; Pending
+// excludes it immediately.
+func (e *Event) Cancel() {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	if e.idx >= 0 && e.eng != nil {
+		eng := e.eng
+		eng.deadPending++
+		// Compact lazily: once cancelled events outnumber live ones (and
+		// there are enough of them to be worth a sweep), rebuild the heap
+		// without them so pop cost tracks the live population.
+		if eng.deadPending >= compactMinDead && eng.deadPending*2 > len(eng.heap) {
+			eng.compact()
+		}
+	}
+}
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.dead }
 
-type eventHeap []*Event
+// heapArity is the fan-out of the event heap. A 4-ary heap trades slightly
+// more comparisons per sift-down for half the tree depth of a binary heap,
+// which wins on the schedule/fire churn that dominates simulation time.
+const heapArity = 4
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+// compactMinDead is the minimum number of cancelled-but-queued events
+// before a compaction sweep is considered.
+const compactMinDead = 64
+
+// maxFree bounds the event free list so a transient scheduling burst does
+// not pin memory forever.
+const maxFree = 4096
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent
 // use; the whole simulation runs on a single OS goroutine at a time (the
 // coroutine facility hands control around but never runs two goroutines
-// concurrently).
+// concurrently). Distinct engines are fully independent, so whole
+// simulations may run concurrently (see internal/core's Runner).
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	rng    *RNG
-	fired  uint64
-	halted bool
-	trace  func(t Time, fired uint64)
+	now         Time
+	seq         uint64
+	heap        []*Event // heapArity-ary min-heap ordered by (at, seq)
+	free        []*Event // recycled events awaiting reuse
+	deadPending int      // cancelled events still sitting in heap
+	rng         *RNG
+	fired       uint64
+	halted      bool
+	trace       func(t Time, fired uint64)
 }
 
 // SetTrace installs a hook invoked before every event executes, with the
@@ -107,9 +117,126 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Fired reports the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of events currently queued (including
-// cancelled events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of live events currently queued. Cancelled
+// events awaiting removal are not counted.
+func (e *Engine) Pending() int { return len(e.heap) - e.deadPending }
+
+// less orders events by (time, sequence) so simultaneous events fire in
+// scheduling order.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !eventLess(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.heap[i].idx = i
+		i = p
+	}
+	e.heap[i] = ev
+	ev.idx = i
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	ev := e.heap[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(e.heap[c], e.heap[min]) {
+				min = c
+			}
+		}
+		if !eventLess(e.heap[min], ev) {
+			break
+		}
+		e.heap[i] = e.heap[min]
+		e.heap[i].idx = i
+		i = min
+	}
+	e.heap[i] = ev
+	ev.idx = i
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.idx = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.siftUp(ev.idx)
+}
+
+func (e *Engine) popMin() *Event {
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.idx = 0
+		e.siftDown(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// compact rebuilds the heap without cancelled events, recycling them.
+func (e *Engine) compact() {
+	live := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.dead {
+			ev.idx = -1
+			e.recycle(ev)
+			continue
+		}
+		ev.idx = len(live)
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = live
+	if n := len(e.heap); n > 1 {
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+	e.deadPending = 0
+}
+
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a popped event to the free list. The callback reference
+// is dropped so the closure (and whatever it captures) can be collected.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past is a programming error and panics: it would silently reorder the
@@ -118,9 +245,15 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.eng = e
+	ev.idx = -1
+	ev.dead = false
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -135,16 +268,20 @@ func (e *Engine) Halt() { e.halted = true }
 
 // Run executes events in time order until the queue empties, the clock
 // passes until, or Halt is called. It returns the virtual time at which it
-// stopped.
+// stopped: the horizon when the run exhausted its events (so utilization
+// math sees the full interval even if the system went idle), or the time
+// of the last fired event when Halt ended the run early.
 func (e *Engine) Run(until Time) Time {
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		ev := e.queue[0]
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.heap[0]
 		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.popMin()
 		if ev.dead {
+			e.deadPending--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
@@ -153,20 +290,12 @@ func (e *Engine) Run(until Time) Time {
 			e.trace(e.now, e.fired)
 		}
 		ev.fn()
+		e.recycle(ev)
 	}
-	if e.now < until && len(e.queue) == 0 {
-		// Advance to the requested horizon so utilization math sees the
-		// full interval even if the system went fully idle.
-		e.now = until
-	}
-	if e.now < until && e.halted {
-		// Leave the clock where Halt stopped it.
-		return e.now
-	}
-	if e.now > until {
-		return e.now
-	}
-	if len(e.queue) > 0 && e.queue[0].at > until {
+	// Single horizon clamp: unless Halt stopped the run, the whole
+	// interval up to `until` has been simulated (every remaining event is
+	// later), so the clock advances to the horizon.
+	if !e.halted && e.now < until {
 		e.now = until
 	}
 	return e.now
@@ -175,13 +304,16 @@ func (e *Engine) Run(until Time) Time {
 // Drain runs every remaining event regardless of time. It is intended for
 // test teardown, not for experiments.
 func (e *Engine) Drain() {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.popMin()
 		if ev.dead {
+			e.deadPending--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
 		ev.fn()
+		e.recycle(ev)
 	}
 }

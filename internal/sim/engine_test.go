@@ -332,6 +332,164 @@ func TestEngineTraceHook(t *testing.T) {
 	}
 }
 
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.At(Time(10+i), func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d after 4 cancels, want 6 (cancelled events must not count)", e.Pending())
+	}
+	evs[0].Cancel() // double cancel must not double count
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d after double cancel, want 6", e.Pending())
+	}
+	e.Run(100)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", e.Pending())
+	}
+	if e.Fired() != 6 {
+		t.Fatalf("Fired = %d, want 6", e.Fired())
+	}
+}
+
+func TestEngineCompactionPreservesOrderAndSkipsDead(t *testing.T) {
+	// Schedule far more events than the compaction threshold, cancel most
+	// of them to force a sweep, and check the survivors still fire in
+	// exact (time, sequence) order.
+	e := NewEngine(1)
+	const n = 1000
+	var fired []int
+	var cancelled []*Event
+	for i := 0; i < n; i++ {
+		i := i
+		ev := e.At(Time(10*i), func() { fired = append(fired, i) })
+		if i%5 != 0 {
+			cancelled = append(cancelled, ev)
+		}
+	}
+	for _, ev := range cancelled {
+		ev.Cancel()
+	}
+	if want := n - len(cancelled); e.Pending() != want {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), want)
+	}
+	e.Run(Forever - 1)
+	if len(fired) != n-len(cancelled) {
+		t.Fatalf("fired %d events, want %d", len(fired), n-len(cancelled))
+	}
+	for j := 1; j < len(fired); j++ {
+		if fired[j] <= fired[j-1] {
+			t.Fatalf("events fired out of order after compaction: %d after %d", fired[j], fired[j-1])
+		}
+	}
+}
+
+func TestEngineCompactionWithNoSurvivors(t *testing.T) {
+	// Cancelling every queued event must compact down to an empty heap
+	// without touching it (regression: heapify over len 0 and 1).
+	e := NewEngine(1)
+	for _, keep := range []int{0, 1} {
+		var evs []*Event
+		for i := 0; i < 500; i++ {
+			evs = append(evs, e.At(e.Now()+Time(10+i), func() {}))
+		}
+		for _, ev := range evs[keep:] {
+			ev.Cancel()
+		}
+		if e.Pending() != keep {
+			t.Fatalf("Pending = %d, want %d", e.Pending(), keep)
+		}
+		before := e.Fired()
+		e.Run(e.Now() + 1000)
+		if got := e.Fired() - before; got != uint64(keep) {
+			t.Fatalf("fired %d events, want %d", got, keep)
+		}
+	}
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	// An event callback cancelling a later pending event must suppress it.
+	e := NewEngine(1)
+	var victim *Event
+	fired := false
+	victim = e.At(20, func() { fired = true })
+	e.At(10, func() { victim.Cancel() })
+	e.Run(100)
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineEventRecyclingKeepsDeterminism(t *testing.T) {
+	// Heavy schedule/fire churn cycles events through the free list; the
+	// (time, seq) order must stay exact.
+	e := NewEngine(1)
+	var last Time
+	count := 0
+	var step func()
+	step = func() {
+		if e.Now() < last {
+			t.Fatalf("time went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		count++
+		if count < 10_000 {
+			e.After(Cycles(1+e.RNG().Intn(7)), step)
+		}
+	}
+	e.At(0, step)
+	e.Run(Forever - 1)
+	if count != 10_000 {
+		t.Fatalf("ran %d events, want 10000", count)
+	}
+}
+
+func TestEngineHaltLeavesClockAtStopPoint(t *testing.T) {
+	// Halt leaves the clock at the last fired event even when the queue
+	// drains, rather than jumping to the horizon.
+	e := NewEngine(1)
+	e.At(10, func() { e.Halt() })
+	if got := e.Run(100); got != 10 {
+		t.Fatalf("halted Run returned %d, want 10", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d after halt, want 10", e.Now())
+	}
+	// A later Run with nothing scheduled advances to its horizon.
+	if got := e.Run(200); got != 200 {
+		t.Fatalf("Run after halt returned %d, want 200", got)
+	}
+}
+
+func TestEngineRunWithHorizonInPast(t *testing.T) {
+	e := NewEngine(1)
+	e.At(50, func() {})
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", e.Now())
+	}
+	// A horizon behind the clock fires nothing and leaves the clock alone.
+	fired := false
+	e.At(300, func() { fired = true })
+	if got := e.Run(90); got != 100 {
+		t.Fatalf("Run(90) returned %d, want 100", got)
+	}
+	if fired {
+		t.Fatal("event beyond a past horizon fired")
+	}
+}
+
 func TestEngineDrainRunsEverything(t *testing.T) {
 	e := NewEngine(1)
 	n := 0
