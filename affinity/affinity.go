@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/prof"
+	"repro/internal/topo"
 	"repro/internal/ttcp"
 )
 
@@ -100,6 +101,48 @@ func Sizes() []int { return append([]int(nil), core.Sizes...) }
 func DefaultConfig(mode Mode, dir Direction, size int) Config {
 	return core.DefaultConfig(mode, dir, size)
 }
+
+// Topology describes an arbitrary machine shape: processors, optional
+// NUMA-ish domains, NICs with one or more receive queues, and the
+// connection population. Set Config.Topology to run the experiment on a
+// shape other than the paper's 2P × 8NIC box.
+type Topology = topo.Topology
+
+// NICShape describes one adapter of a Topology.
+type NICShape = topo.NICShape
+
+// Plan is an explicit placement of work onto a Topology: irq→CPU masks,
+// queue→vector assignment, process→CPU masks and flow→queue steering.
+type Plan = topo.Plan
+
+// PlacementPolicy turns a Topology into a Plan. Built-ins cover the
+// paper's modes plus partition, rotate and RSS; custom implementations
+// can place work any other way. Set Config.Policy to override the policy
+// implied by Config.Mode.
+type PlacementPolicy = topo.PlacementPolicy
+
+// Uniform builds a Topology of identical NICs: cpus processors and nics
+// adapters with queues receive queues each. Uniform(2, 8, 1) is the
+// paper's machine.
+func Uniform(cpus, nics, queues int) Topology { return topo.Uniform(cpus, nics, queues) }
+
+// PaperTopology returns the paper's SUT shape: 2 CPUs × 8 single-queue
+// NICs, one connection and one process per NIC.
+func PaperTopology() Topology { return topo.Paper() }
+
+// PolicyForMode maps an affinity mode to its placement policy.
+func PolicyForMode(m Mode) PlacementPolicy { return core.PolicyForMode(m) }
+
+// PolicyByName resolves a built-in placement policy from its name:
+// none, process, irq, full, partition, rotate or rss.
+func PolicyByName(name string) (PlacementPolicy, error) { return topo.PolicyByName(name) }
+
+// Policies lists every built-in placement policy.
+func Policies() []PlacementPolicy { return topo.Policies() }
+
+// PlanFor computes the placement plan a config implies without building
+// the machine — validate or inspect a shape before paying for a run.
+func PlanFor(cfg Config) (*Plan, error) { return core.PlanFor(cfg) }
 
 // Run builds the machine, warms it up, measures one window and returns
 // the result.

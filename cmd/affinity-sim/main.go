@@ -5,17 +5,29 @@
 //
 //	affinity-sim [flags]
 //
-//	-mode   none|proc|irq|full   affinity mode (default none)
+//	-mode   none|proc|irq|full|partition   affinity mode (default none)
 //	-dir    tx|rx                transfer direction (default tx)
 //	-size   bytes                ttcp transaction size (default 65536)
+//	-cpus   n                    processors (default 2, the paper's SUT)
+//	-nics   n                    NICs/connections (default 8; no static cap)
+//	-queues n                    receive (RSS) queues per NIC (default 1)
+//	-conns  n                    connections/processes (0 = one per NIC)
+//	-policy name                 placement policy override
+//	                             (none|process|irq|full|partition|rotate|rss)
 //	-seed   n                    simulation seed (default 1)
 //	-warmup cycles               warmup window (default 60e6)
 //	-measure cycles              measured window (default 240e6)
 //	-seeds   n                   run n consecutive seeds, print mean ± stdev
 //	-workers n                   parallel workers for -seeds (0 = GOMAXPROCS, 1 = serial)
+//	-plan                        print the computed placement plan and exit
 //	-table1                      print the Table 1 bin characterization
 //	-fig5                        print the Figure 5 impact indicators
 //	-table4                      print the Table 4 per-CPU clear symbols
+//
+// The machine shape flags compose with any mode or policy: e.g.
+// "-cpus 4 -mode full" is the §5 4P scaling point, and
+// "-cpus 2 -nics 2 -queues 4 -policy rss" is the §8 receive-side-scaling
+// future work. The default shape is the paper's 2P × 8NIC machine.
 package main
 
 import (
@@ -28,9 +40,15 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "none", "affinity mode: none|proc|irq|full")
+	modeFlag := flag.String("mode", "none", "affinity mode: none|proc|irq|full|partition")
 	dirFlag := flag.String("dir", "tx", "direction: tx|rx")
 	size := flag.Int("size", 65536, "transaction size in bytes")
+	cpus := flag.Int("cpus", 2, "number of processors")
+	nics := flag.Int("nics", 8, "number of NICs (one connection and process each)")
+	queues := flag.Int("queues", 1, "receive (RSS) queues per NIC")
+	conns := flag.Int("conns", 0, "connections/processes (0 = one per NIC)")
+	policyFlag := flag.String("policy", "", "placement policy override: none|process|irq|full|partition|rotate|rss")
+	planOnly := flag.Bool("plan", false, "print the computed placement plan and exit")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 60_000_000, "warmup cycles")
 	measure := flag.Uint64("measure", 240_000_000, "measured cycles")
@@ -62,6 +80,37 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
+	if *cpus != 2 || *nics != 8 || *queues != 1 || *conns != 0 {
+		t := affinity.Uniform(*cpus, *nics, *queues)
+		t.Conns = *conns
+		cfg.Topology = &t
+	}
+	if *policyFlag != "" {
+		pol, err := affinity.PolicyByName(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Policy = pol
+	}
+	plan, err := affinity.PlanFor(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-sim: impossible shape:", err)
+		os.Exit(2)
+	}
+	if *planOnly {
+		fmt.Println(plan)
+		for n := range plan.QueueVectors {
+			for q, vec := range plan.QueueVectors[n] {
+				fmt.Printf("  nic%d q%d vec %#x mask %#x\n", n, q, int(vec), plan.IRQMasks[n][q])
+			}
+		}
+		for i := range plan.ProcMasks {
+			fmt.Printf("  conn%d -> nic%d queue %d, proc mask %#x start cpu%d\n",
+				i, plan.NICOf(i), plan.FlowQueues[i], plan.ProcMasks[i], plan.StartCPUs[i])
+		}
+		return
+	}
 
 	if *seeds > 1 {
 		// Aggregate mode: fan the seeds across the worker pool and print
@@ -115,8 +164,10 @@ func parseMode(s string) (affinity.Mode, error) {
 		return affinity.ModeIRQ, nil
 	case "full":
 		return affinity.ModeFull, nil
+	case "partition", "part":
+		return affinity.ModePartition, nil
 	}
-	return 0, fmt.Errorf("affinity-sim: unknown mode %q (none|proc|irq|full)", s)
+	return 0, fmt.Errorf("affinity-sim: unknown mode %q (none|proc|irq|full|partition)", s)
 }
 
 func parseDir(s string) (affinity.Direction, error) {

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/ttcp"
+)
+
+// quickResult runs one short full-affinity window, shared by the export
+// and dump tests.
+func quickResult(t *testing.T) *Result {
+	t.Helper()
+	cfg := DefaultConfig(ModeFull, ttcp.TX, 65536)
+	cfg.WarmupCycles = 5_000_000
+	cfg.MeasureCycles = 20_000_000
+	return Run(cfg)
+}
+
+func TestExportFields(t *testing.T) {
+	r := quickResult(t)
+	e := r.Export()
+	if e.Mode != "Full Aff" || e.Dir != "TX" || e.Size != 65536 || e.Seed != r.Cfg.Seed {
+		t.Errorf("identity fields wrong: %+v", e)
+	}
+	if e.Mbps <= 0 || e.Util <= 0 || e.Util > 1 || e.Cost <= 0 {
+		t.Errorf("headline metrics implausible: mbps=%v util=%v cost=%v", e.Mbps, e.Util, e.Cost)
+	}
+	if e.Transactions == 0 || e.Bytes == 0 {
+		t.Error("no work recorded")
+	}
+	if e.OverallCPI <= 0 {
+		t.Errorf("overall CPI = %v", e.OverallCPI)
+	}
+	if e.IRQs == 0 {
+		t.Error("no interrupts recorded")
+	}
+	if len(e.Bins) == 0 {
+		t.Fatal("no bin rows")
+	}
+	var share float64
+	for name, bin := range e.Bins {
+		if bin.PctCycles < 0 || bin.PctCycles > 1 {
+			t.Errorf("bin %s: cycle share %v outside [0,1]", name, bin.PctCycles)
+		}
+		share += bin.PctCycles
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Errorf("bin cycle shares sum to %v, want ~1", share)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	r := quickResult(t)
+	js, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResultExport
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("JSON does not parse back: %v", err)
+	}
+	if back.Mbps != r.Mbps || back.Mode != r.Cfg.Mode.String() {
+		t.Errorf("round trip lost data: got %v/%q, want %v/%q",
+			back.Mbps, back.Mode, r.Mbps, r.Cfg.Mode.String())
+	}
+}
+
+func TestCSVRowMatchesHeader(t *testing.T) {
+	r := quickResult(t)
+	header := strings.Split(CSVHeader(), ",")
+	row := strings.Split(r.CSVRow(), ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	if row[0] != "Full Aff" || row[1] != "TX" || row[2] != "65536" {
+		t.Errorf("row prefix = %v", row[:3])
+	}
+	for i, cell := range row {
+		if cell == "" {
+			t.Errorf("column %s empty", header[i])
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/ttcp"
+)
+
+// TestDefaultPlanReproducesGoldenFigures pins the refactoring contract of
+// the topology layer: with the default Topology and Plan, the rendered
+// Figure 3/4 sweep is byte-identical to the hard-wired 2P × 8NIC machine
+// the fixture was generated from. Any change to simulated-memory
+// allocation order, vector assignment, launch parameters or scheduling
+// shows up here as a diff.
+func TestDefaultPlanReproducesGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep; skipped in -short mode")
+	}
+	sizes := []int{128, 4096, 65536}
+	var out string
+	for _, dir := range []ttcp.Direction{ttcp.TX, ttcp.RX} {
+		base := DefaultConfig(ModeNone, dir, 128)
+		base.WarmupCycles = 10_000_000
+		base.MeasureCycles = 30_000_000
+		sw := RunSweep(base, dir, sizes, Modes())
+		out += fmt.Sprintf("=== %s ===\n", dir)
+		out += sw.FormatFig3()
+		out += sw.FormatFig4()
+	}
+	want, err := os.ReadFile("testdata/figures_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("sweep output diverged from the pre-topology fixture\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}

@@ -1,7 +1,11 @@
 // Package core assembles the paper's experiment: the 2-processor SUT
 // with eight gigabit NICs, eight connections and eight ttcp processes,
 // run under one of the four affinity modes, measured over a steady-state
-// window, and analyzed into the paper's tables and figures.
+// window, and analyzed into the paper's tables and figures. The machine
+// shape and the placement of work onto it come from internal/topo: the
+// paper's 2P × 8NIC box is just the default Topology, and each affinity
+// mode is a PlacementPolicy over it, so arbitrary CPUs × NICs × queues
+// shapes run through the same assembly.
 package core
 
 import (
@@ -15,6 +19,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/ttcp"
 )
 
@@ -61,9 +66,28 @@ func AllModes() []Mode {
 	return []Mode{ModeNone, ModeProc, ModeIRQ, ModeFull, ModePartition}
 }
 
-// Vectors are the eight NIC interrupt lines, numbered as in the paper's
-// Table 4.
-var Vectors = []apic.Vector{0x19, 0x1a, 0x1b, 0x1d, 0x23, 0x24, 0x25, 0x27}
+// PolicyForMode maps an affinity mode to its placement policy. Modes are
+// the paper's vocabulary; policies are the general mechanism (and include
+// shapes the modes cannot express, e.g. topo.RSS).
+func PolicyForMode(m Mode) topo.PlacementPolicy {
+	switch m {
+	case ModeProc:
+		return topo.Process{}
+	case ModeIRQ:
+		return topo.IRQ{}
+	case ModeFull:
+		return topo.Full{}
+	case ModePartition:
+		return topo.Partition{}
+	default:
+		return topo.None{}
+	}
+}
+
+// Vectors are the eight NIC interrupt lines of the paper's Table 4.
+// Larger shapes allocate further vectors dynamically (topo.VectorAllocator);
+// this list is kept for the paper's numbering and for tests.
+var Vectors = topo.PaperVectors
 
 // Sizes is the paper's transaction-size sweep (Figures 3 and 4).
 var Sizes = []int{128, 256, 1024, 4096, 8192, 16384, 65536}
@@ -75,8 +99,16 @@ type Config struct {
 	// Size is the ttcp transaction size in bytes.
 	Size int
 	// NumCPUs and NumNICs shape the machine; the paper's SUT is 2 CPUs
-	// and 8 NICs (one connection and one process per NIC).
+	// and 8 NICs (one connection and one process per NIC). Topology, if
+	// set, overrides both.
 	NumCPUs, NumNICs int
+	// Topology, when non-nil, describes an arbitrary machine shape
+	// (CPU count, NUMA-ish domains, multi-queue NICs, connection count)
+	// in place of the flat NumCPUs × NumNICs default.
+	Topology *topo.Topology
+	// Policy, when non-nil, overrides the placement policy implied by
+	// Mode (e.g. topo.RSS, or a custom implementation).
+	Policy topo.PlacementPolicy
 	// Seed drives all simulation randomness.
 	Seed uint64
 	// WarmupCycles run before measurement (cache/TLB warmup, window
@@ -118,9 +150,42 @@ func DefaultConfig(mode Mode, dir ttcp.Direction, size int) Config {
 	}
 }
 
+// Topo resolves the machine shape a config describes: the explicit
+// Topology if set, else the flat NumCPUs × single-queue-NumNICs default.
+func (cfg Config) Topo() topo.Topology {
+	if cfg.Topology != nil {
+		return *cfg.Topology
+	}
+	return topo.Uniform(cfg.NumCPUs, cfg.NumNICs, 1)
+}
+
+// PlanFor computes the placement plan a config implies without building
+// the machine — for validating or inspecting placement up front. It is
+// the only shape gate: impossible topologies (no CPUs, more queues than
+// allocatable interrupt vectors, malformed domains) surface here as
+// errors rather than mid-assembly.
+func PlanFor(cfg Config) (*topo.Plan, error) {
+	pol := cfg.Policy
+	if pol == nil {
+		pol = PolicyForMode(cfg.Mode)
+	}
+	plan, err := pol.Place(cfg.Topo())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RotateIRQs {
+		plan.RotateIRQs = true
+	}
+	return plan, nil
+}
+
 // Machine is an assembled SUT plus its clients and workload.
 type Machine struct {
-	Cfg     Config
+	Cfg Config
+	// Topo is the resolved machine shape; Plan the placement applied to
+	// it (what the seed computed inline from mode switches).
+	Topo    topo.Topology
+	Plan    *topo.Plan
 	Eng     *sim.Engine
 	Tab     *perf.SymbolTable
 	Ctr     *perf.Counters
@@ -133,58 +198,80 @@ type Machine struct {
 }
 
 // NewMachine builds the SUT: kernel, stack, NICs, connections and ttcp
-// processes, with the affinity mode applied.
+// processes, with the placement plan applied (IRQ smp_affinity masks,
+// process affinity masks, RSS flow steering).
 func NewMachine(cfg Config) *Machine {
-	if cfg.NumCPUs <= 0 || cfg.NumNICs <= 0 {
+	if cfg.Topology == nil && (cfg.NumCPUs <= 0 || cfg.NumNICs <= 0) {
 		panic(fmt.Sprintf("core: bad machine shape %d CPUs %d NICs", cfg.NumCPUs, cfg.NumNICs))
 	}
-	if cfg.NumNICs > len(Vectors) {
-		panic("core: more NICs than defined vectors")
+	plan, err := PlanFor(cfg)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
+	t := plan.Topo
 	eng := sim.NewEngine(cfg.Seed)
 	tab := perf.NewSymbolTable()
-	ctr := perf.NewCounters(tab, cfg.NumCPUs)
+	ctr := perf.NewCounters(tab, t.NumCPUs)
 	k := kern.New(kern.Config{
 		Engine:  eng,
 		Space:   mem.NewSpace(),
 		Table:   tab,
 		Ctr:     ctr,
-		NumCPUs: cfg.NumCPUs,
+		NumCPUs: t.NumCPUs,
 		CPU:     cfg.CPU,
 		Tune:    cfg.Tune,
 	})
 	st := tcp.New(k, cfg.TCP)
-	m := &Machine{Cfg: cfg, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st}
+	m := &Machine{Cfg: cfg, Topo: t, Plan: plan, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st}
 
-	perCPU := (cfg.NumNICs + cfg.NumCPUs - 1) / cfg.NumCPUs
-	for i := 0; i < cfg.NumNICs; i++ {
-		nic := st.AddNIC(Vectors[i])
+	conns := t.NumConns()
+	m.Sockets = make([]*tcp.Socket, conns)
+	m.Clients = make([]*tcp.Client, conns)
+	for n := range t.NICs {
+		ncfg := netdev.DefaultNICConfig(plan.QueueVectors[n][0])
+		if t.NICs[n].LinkBps != 0 {
+			ncfg.LinkBps = t.NICs[n].LinkBps
+		}
+		if t.QueuesOf(n) > 1 {
+			ncfg.QueueVectors = plan.QueueVectors[n]
+		}
+		nic := st.AddNICWithConfig(ncfg)
 		m.NICs = append(m.NICs, nic)
-		s, c := st.NewConn(i, nic)
-		m.Sockets = append(m.Sockets, s)
-		m.Clients = append(m.Clients, c)
 
-		// Interrupt affinity: NICs 0..3 -> CPU0, 4..7 -> CPU1 (paper
-		// Figure 2). Without it the default mask delivers to CPU0.
-		if cfg.Mode == ModeIRQ || cfg.Mode == ModeFull {
-			cpuFor := i / perCPU
-			if err := k.APIC.SetAffinity(Vectors[i], 1<<uint(cpuFor)); err != nil {
-				panic(err)
+		// This NIC's connections, in ascending connection order (the
+		// paper's shape pairs connection i with NIC i).
+		for i := n; i < conns; i += len(t.NICs) {
+			s, c := st.NewConn(i, nic)
+			m.Sockets[i] = s
+			m.Clients[i] = c
+			if q := plan.FlowQueues[i]; q >= 0 && nic.Queues() > 1 {
+				nic.SteerFlow(i, q)
+			}
+		}
+
+		// Interrupt affinity from the plan (the paper's Figure 2 split
+		// under the irq/full policies; per-queue masks under RSS).
+		// Mask 0 keeps the default all-CPUs mask, which delivers to CPU0.
+		for q, mask := range plan.IRQMasks[n] {
+			if mask != 0 {
+				if err := k.APIC.SetAffinity(plan.QueueVectors[n][q], mask); err != nil {
+					panic(err)
+				}
 			}
 		}
 	}
-	if cfg.RotateIRQs {
+	if plan.RotateIRQs {
 		k.APIC.SetPolicy(apic.PolicyRotate)
 	}
 
 	if !cfg.SkipWorkload {
-		for i := 0; i < cfg.NumNICs; i++ {
+		for i := 0; i < conns; i++ {
 			p := ttcp.Launch(st, m.Sockets[i], m.Clients[i], ttcp.Config{
 				Name:          fmt.Sprintf("ttcp%d", i),
 				Dir:           cfg.Dir,
 				Size:          cfg.Size,
-				StartCPU:      i % cfg.NumCPUs,
-				Affinity:      m.AffinityMaskFor(i),
+				StartCPU:      plan.StartCPUs[i],
+				Affinity:      plan.ProcMasks[i],
 				ThinkCycles:   cfg.ThinkCycles,
 				RecordLatency: cfg.RecordLatency,
 			})
@@ -201,25 +288,10 @@ func NewMachine(cfg Config) *Machine {
 	return m
 }
 
-// AffinityMaskFor returns the process affinity mask the machine's mode
-// implies for the process serving connection i (0 = unrestricted).
-// Custom workloads use it to honour the configured mode.
-func (m *Machine) AffinityMaskFor(i int) uint32 {
-	switch m.Cfg.Mode {
-	case ModeProc, ModeFull:
-		perCPU := (m.Cfg.NumNICs + m.Cfg.NumCPUs - 1) / m.Cfg.NumCPUs
-		return 1 << uint(i/perCPU)
-	case ModePartition:
-		// Applications keep off the interrupt processor.
-		all := uint32(1<<uint(m.Cfg.NumCPUs)) - 1
-		if mask := all &^ 1; mask != 0 {
-			return mask
-		}
-		return 0
-	default:
-		return 0
-	}
-}
+// AffinityMaskFor returns the process affinity mask the machine's plan
+// assigns to the process serving connection i (0 = unrestricted).
+// Custom workloads use it to honour the configured placement.
+func (m *Machine) AffinityMaskFor(i int) uint32 { return m.Plan.ProcMasks[i] }
 
 // Shutdown reaps every coroutine; call when done with the machine.
 func (m *Machine) Shutdown() { m.K.Shutdown() }

@@ -76,8 +76,12 @@ type NIC struct {
 	// queues holds one receive ring + interrupt state per RSS queue;
 	// single-queue devices have exactly one.
 	queues []*rxQueue
-	txLock *kern.SpinLock
-	txWait *kern.WaitQueue
+	// flowQueue is the RSS indirection table: connections steered to an
+	// explicit queue (SteerFlow). Absent connections fall back to the
+	// hash in queueFor.
+	flowQueue map[int]int
+	txLock    *kern.SpinLock
+	txWait    *kern.WaitQueue
 
 	peer Peer
 
@@ -107,6 +111,10 @@ type rxQueue struct {
 	// masked suppresses interrupt generation while the NAPI poll owns
 	// the queue.
 	masked bool
+
+	// Per-queue stats.
+	rxFrames uint64
+	irqs     uint64
 }
 
 func newNIC(d *Driver, id int, cfg NICConfig) *NIC {
@@ -145,10 +153,37 @@ func newNIC(d *Driver, id int, cfg NICConfig) *NIC {
 // Queues reports the number of RSS queues (1 for a classic device).
 func (n *NIC) Queues() int { return len(n.queues) }
 
-// queueFor hashes a connection to a queue (Toeplitz stand-in).
+// SteerFlow programs the RSS indirection table: frames of conn land on
+// the given receive queue instead of the hash-selected one — the paper's
+// §8 "direct connections and interrupts, dynamically, to a specific
+// processor", flow half.
+func (n *NIC) SteerFlow(conn, queue int) {
+	if queue < 0 || queue >= len(n.queues) {
+		panic(fmt.Sprintf("netdev: nic %d has no queue %d", n.id, queue))
+	}
+	if n.flowQueue == nil {
+		n.flowQueue = make(map[int]int)
+	}
+	n.flowQueue[conn] = queue
+}
+
+// queueFor steers a connection to a queue: the indirection table when
+// programmed, else a hash (Toeplitz stand-in).
 func (n *NIC) queueFor(conn int) *rxQueue {
+	if q, ok := n.flowQueue[conn]; ok {
+		return n.queues[q]
+	}
 	return n.queues[conn%len(n.queues)]
 }
+
+// QueueVector reports queue qi's interrupt vector.
+func (n *NIC) QueueVector(qi int) apic.Vector { return n.queues[qi].vec }
+
+// QueueRxFrames reports frames received on queue qi.
+func (n *NIC) QueueRxFrames(qi int) uint64 { return n.queues[qi].rxFrames }
+
+// QueueIRQs reports interrupts raised by queue qi.
+func (n *NIC) QueueIRQs(qi int) uint64 { return n.queues[qi].irqs }
 
 // ID reports the device number.
 func (n *NIC) ID() int { return n.id }
@@ -284,6 +319,7 @@ func (n *NIC) InjectFromWire(f WireFrame) {
 		}
 		n.RxFrames++
 		n.RxBytes += uint64(f.Len)
+		q.rxFrames++
 		n.maybeRaiseIRQ(q)
 	})
 }
@@ -311,6 +347,7 @@ func (n *NIC) maybeRaiseIRQ(q *rxQueue) {
 func (n *NIC) raiseNow(q *rxQueue) {
 	q.lastIRQ = n.eng().Now()
 	n.IRQsRaised++
+	q.irqs++
 	n.d.k.APIC.Raise(q.vec)
 }
 

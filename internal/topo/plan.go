@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+)
+
+// Plan is an explicit placement of work onto a Topology: every decision
+// the seed's NewMachine used to compute inline from mode switches, made
+// first-class and inspectable. A Plan is pure data — applying it (APIC
+// smp_affinity writes, sys_sched_setaffinity, NIC flow steering) is the
+// machine assembler's job.
+type Plan struct {
+	// Topo is the shape this plan places onto.
+	Topo Topology
+	// Policy names the policy that produced the plan (diagnostics).
+	Policy string
+
+	// QueueVectors[n][q] is the interrupt vector of NIC n's queue q,
+	// allocated dynamically (PaperVectors first).
+	QueueVectors [][]apic.Vector
+	// IRQMasks[n][q] is the smp_affinity mask to program for that vector;
+	// 0 leaves the platform default (all CPUs, which delivers to CPU0).
+	IRQMasks [][]uint32
+	// ProcMasks[i] is the CPU affinity mask of the process serving
+	// connection i; 0 leaves the process unrestricted.
+	ProcMasks []uint32
+	// StartCPUs[i] is where connection i's process is first enqueued
+	// (the scheduler honours ProcMasks from the first placement on).
+	StartCPUs []int
+	// FlowQueues[i] steers connection i to a specific receive queue of
+	// its NIC (RSS indirection); -1 leaves the device's hash in charge.
+	FlowQueues []int
+	// RotateIRQs selects the 2.6-style rotating delivery policy (§7)
+	// instead of static lowest-in-mask routing.
+	RotateIRQs bool
+}
+
+// NewPlan builds the neutral skeleton for a Topology: vectors allocated
+// in NIC-then-queue order, every mask left at the platform default, each
+// process started round-robin and every flow hash-steered. Policies
+// start from this and override what they care about.
+func NewPlan(t Topology) (*Plan, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Topo: t, Policy: "skeleton"}
+	alloc := NewVectorAllocator()
+	for n := range t.NICs {
+		nq := t.QueuesOf(n)
+		vecs := make([]apic.Vector, nq)
+		for q := range vecs {
+			v, err := alloc.Alloc()
+			if err != nil {
+				return nil, err
+			}
+			vecs[q] = v
+		}
+		p.QueueVectors = append(p.QueueVectors, vecs)
+		p.IRQMasks = append(p.IRQMasks, make([]uint32, nq))
+	}
+	conns := t.NumConns()
+	p.ProcMasks = make([]uint32, conns)
+	p.StartCPUs = make([]int, conns)
+	p.FlowQueues = make([]int, conns)
+	for i := 0; i < conns; i++ {
+		p.StartCPUs[i] = i % t.NumCPUs
+		p.FlowQueues[i] = -1
+	}
+	return p, nil
+}
+
+// NICOf maps a connection to its adapter.
+func (p *Plan) NICOf(conn int) int { return p.Topo.NICOf(conn) }
+
+// VectorFor reports the interrupt vector serving connection i: its
+// steered queue's vector, or the NIC's first vector under hash steering.
+func (p *Plan) VectorFor(conn int) apic.Vector {
+	n := p.NICOf(conn)
+	q := 0
+	if fq := p.FlowQueues[conn]; fq >= 0 {
+		q = fq
+	}
+	return p.QueueVectors[n][q]
+}
+
+// Validate checks internal consistency against the plan's Topology:
+// per-NIC slice shapes, mask ranges, start CPUs and queue indices.
+func (p *Plan) Validate() error {
+	t := p.Topo
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if len(p.QueueVectors) != len(t.NICs) || len(p.IRQMasks) != len(t.NICs) {
+		return fmt.Errorf("topo: plan covers %d NICs, topology has %d", len(p.QueueVectors), len(t.NICs))
+	}
+	seen := make(map[apic.Vector]bool)
+	for n := range t.NICs {
+		nq := t.QueuesOf(n)
+		if len(p.QueueVectors[n]) != nq || len(p.IRQMasks[n]) != nq {
+			return fmt.Errorf("topo: plan has %d queues for NIC %d, topology has %d", len(p.QueueVectors[n]), n, nq)
+		}
+		for q, v := range p.QueueVectors[n] {
+			if reservedVectors[v] {
+				return fmt.Errorf("topo: NIC %d queue %d uses kernel-reserved vector %#x", n, q, int(v))
+			}
+			if seen[v] {
+				return fmt.Errorf("topo: vector %#x assigned twice", int(v))
+			}
+			seen[v] = true
+			if m := p.IRQMasks[n][q]; m&^t.CPUMask() != 0 {
+				return fmt.Errorf("topo: NIC %d queue %d mask %#x names CPUs outside the %d-CPU machine", n, q, m, t.NumCPUs)
+			}
+		}
+	}
+	conns := t.NumConns()
+	if len(p.ProcMasks) != conns || len(p.StartCPUs) != conns || len(p.FlowQueues) != conns {
+		return fmt.Errorf("topo: plan covers %d connections, topology has %d", len(p.ProcMasks), conns)
+	}
+	for i := 0; i < conns; i++ {
+		if m := p.ProcMasks[i]; m&^t.CPUMask() != 0 {
+			return fmt.Errorf("topo: conn %d process mask %#x names CPUs outside the machine", i, m)
+		}
+		if c := p.StartCPUs[i]; c < 0 || c >= t.NumCPUs {
+			return fmt.Errorf("topo: conn %d starts on CPU %d outside [0,%d)", i, c, t.NumCPUs)
+		}
+		if fq := p.FlowQueues[i]; fq >= t.QueuesOf(p.NICOf(i)) {
+			return fmt.Errorf("topo: conn %d steered to queue %d of a %d-queue NIC", i, fq, t.QueuesOf(p.NICOf(i)))
+		}
+	}
+	return nil
+}
+
+// String summarizes the plan for diagnostics.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan[%s: %dP × %d NICs × %d queues, %d conns, rotate=%v]",
+		p.Policy, p.Topo.NumCPUs, len(p.Topo.NICs), p.Topo.TotalQueues(), p.Topo.NumConns(), p.RotateIRQs)
+}

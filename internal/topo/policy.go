@@ -1,0 +1,222 @@
+package topo
+
+import "fmt"
+
+// PlacementPolicy turns a Topology into a Plan. Implementations are the
+// paper's affinity modes plus the §7/§8 extensions; custom policies can
+// place work any other way (a plan is just data).
+type PlacementPolicy interface {
+	// Name labels the policy (CLI parsing, plan diagnostics).
+	Name() string
+	// Place computes the placement, erroring only on shapes the topology
+	// itself cannot express (Topology.Validate).
+	Place(t Topology) (*Plan, error)
+}
+
+// blockOf distributes item i of n over cpus in contiguous blocks — the
+// paper's 4-NICs-per-CPU / 4-processes-per-CPU split generalized.
+func blockOf(i, n, cpus int) int {
+	per := (n + cpus - 1) / cpus
+	return i / per
+}
+
+// flowQueueOf steers connection i to a queue of its NIC: connections
+// sharing a NIC spread round-robin over its queues.
+func flowQueueOf(t Topology, i int) int {
+	return (i / len(t.NICs)) % t.QueuesOf(t.NICOf(i))
+}
+
+// irqBlockMasks fills the plan's IRQ masks with the paper's block
+// distribution: queue g of G total goes to CPU g/ceil(G/P).
+func irqBlockMasks(p *Plan) {
+	total := p.Topo.TotalQueues()
+	g := 0
+	for n := range p.IRQMasks {
+		for q := range p.IRQMasks[n] {
+			p.IRQMasks[n][q] = 1 << uint(blockOf(g, total, p.Topo.NumCPUs))
+			g++
+		}
+	}
+}
+
+// None is the baseline: interrupts on the platform default (CPU0),
+// processes wherever the scheduler puts them.
+type None struct{}
+
+// Name implements PlacementPolicy.
+func (None) Name() string { return "none" }
+
+// Place implements PlacementPolicy.
+func (None) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "none"
+	return p, nil
+}
+
+// Process pins serving processes in contiguous blocks across the CPUs
+// (the paper's 4/4 split) and leaves interrupts on CPU0.
+type Process struct{}
+
+// Name implements PlacementPolicy.
+func (Process) Name() string { return "process" }
+
+// Place implements PlacementPolicy.
+func (Process) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "process"
+	for i := range p.ProcMasks {
+		p.ProcMasks[i] = 1 << uint(blockOf(i, len(p.ProcMasks), t.NumCPUs))
+	}
+	return p, nil
+}
+
+// IRQ pins each queue's interrupt vector in contiguous blocks across the
+// CPUs (/proc/irq/N/smp_affinity) and leaves processes free.
+type IRQ struct{}
+
+// Name implements PlacementPolicy.
+func (IRQ) Name() string { return "irq" }
+
+// Place implements PlacementPolicy.
+func (IRQ) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "irq"
+	irqBlockMasks(p)
+	return p, nil
+}
+
+// Full combines IRQ's vector pinning with pinning each process to the
+// CPU that services its flow's queue — the paper's best mode.
+type Full struct{}
+
+// Name implements PlacementPolicy.
+func (Full) Name() string { return "full" }
+
+// Place implements PlacementPolicy.
+func (Full) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "full"
+	irqBlockMasks(p)
+	for i := range p.ProcMasks {
+		n := p.NICOf(i)
+		q := flowQueueOf(t, i)
+		p.FlowQueues[i] = q
+		p.ProcMasks[i] = p.IRQMasks[n][q]
+	}
+	return p, nil
+}
+
+// Partition is the §7 related-work approach (AsyMOS, ETA): interrupt
+// processing confined to one side of the machine, applications to the
+// other. With locality domains defined, domain 0 takes the interrupts
+// and the remaining domains the applications; on a flat machine CPU0
+// takes the interrupts (the platform default) and processes keep off it.
+type Partition struct{}
+
+// Name implements PlacementPolicy.
+func (Partition) Name() string { return "partition" }
+
+// Place implements PlacementPolicy.
+func (Partition) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "partition"
+	irqSide := uint32(1) // flat machine: the CPU0 default delivery
+	explicit := false
+	if len(t.Domains) >= 2 {
+		irqSide = domainMask(t.Domains[0])
+		explicit = true
+	}
+	appSide := t.CPUMask() &^ irqSide
+	if appSide == 0 {
+		// Degenerate shape (one CPU): nothing to partition.
+		return p, nil
+	}
+	if explicit {
+		for n := range p.IRQMasks {
+			for q := range p.IRQMasks[n] {
+				p.IRQMasks[n][q] = irqSide
+			}
+		}
+	}
+	for i := range p.ProcMasks {
+		p.ProcMasks[i] = appSide
+	}
+	return p, nil
+}
+
+// Rotate leaves all masks at the default and selects the Linux-2.6-style
+// rotating delivery the paper discusses in §7.
+type Rotate struct{}
+
+// Name implements PlacementPolicy.
+func (Rotate) Name() string { return "rotate" }
+
+// Place implements PlacementPolicy.
+func (Rotate) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "rotate"
+	p.RotateIRQs = true
+	return p, nil
+}
+
+// RSS is the paper's §8 future work made a policy: every queue's vector
+// spreads round-robin across the CPUs and each NIC's flows spread
+// round-robin across its queues (the indirection table), so interrupt
+// load balances per-flow with no process pinning at all.
+type RSS struct{}
+
+// Name implements PlacementPolicy.
+func (RSS) Name() string { return "rss" }
+
+// Place implements PlacementPolicy.
+func (RSS) Place(t Topology) (*Plan, error) {
+	p, err := NewPlan(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "rss"
+	g := 0
+	for n := range p.IRQMasks {
+		for q := range p.IRQMasks[n] {
+			p.IRQMasks[n][q] = 1 << uint(g%t.NumCPUs)
+			g++
+		}
+	}
+	for i := range p.FlowQueues {
+		p.FlowQueues[i] = flowQueueOf(t, i)
+	}
+	return p, nil
+}
+
+// Policies lists every built-in placement policy.
+func Policies() []PlacementPolicy {
+	return []PlacementPolicy{None{}, Process{}, IRQ{}, Full{}, Partition{}, Rotate{}, RSS{}}
+}
+
+// PolicyByName resolves a built-in policy from its Name.
+func PolicyByName(name string) (PlacementPolicy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("topo: unknown placement policy %q", name)
+}

@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+)
+
+// PaperVectors are the eight NIC interrupt lines of the paper's Table 4,
+// in NIC order. Plans hand them out first so the default machine's
+// profiler symbols (IRQ0x19_interrupt …) match the paper byte for byte.
+var PaperVectors = []apic.Vector{0x19, 0x1a, 0x1b, 0x1d, 0x23, 0x24, 0x25, 0x27}
+
+// Vectors the kernel itself owns (local APIC timer 0xef, reschedule IPI
+// 0xfd); device allocation must never collide with them.
+var reservedVectors = map[apic.Vector]bool{0xef: true, 0xfd: true}
+
+// VectorAllocator hands out device interrupt vectors dynamically: the
+// paper's eight Table-4 lines first, then the rest of the platform's
+// device range (0x28–0xee, wrapping to 0x10–0x18), skipping the
+// kernel-reserved vectors. This replaces the seed's static eight-vector
+// table — the machine shape, not a constant, now bounds the NIC count.
+type VectorAllocator struct {
+	issued int
+	used   map[apic.Vector]bool
+}
+
+// NewVectorAllocator returns a fresh allocator with no vectors issued.
+func NewVectorAllocator() *VectorAllocator {
+	return &VectorAllocator{used: make(map[apic.Vector]bool)}
+}
+
+// allocOrder enumerates every allocatable vector in issue order.
+func allocOrder() []apic.Vector {
+	var order []apic.Vector
+	inPaper := make(map[apic.Vector]bool)
+	for _, v := range PaperVectors {
+		inPaper[v] = true
+		order = append(order, v)
+	}
+	add := func(lo, hi apic.Vector) {
+		for v := lo; v <= hi; v++ {
+			if !inPaper[v] && !reservedVectors[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	add(0x28, 0xee)
+	add(0x10, 0x18)
+	return order
+}
+
+var vectorOrder = allocOrder()
+
+// NumAllocatableVectors is the hard ceiling on simultaneously routed
+// device interrupt lines (and therefore total NIC queues).
+func NumAllocatableVectors() int { return len(vectorOrder) }
+
+// Alloc issues the next unused vector, or an error once the platform's
+// device-vector space is exhausted — the one genuinely impossible shape.
+func (a *VectorAllocator) Alloc() (apic.Vector, error) {
+	for a.issued < len(vectorOrder) {
+		v := vectorOrder[a.issued]
+		a.issued++
+		if !a.used[v] {
+			a.used[v] = true
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("topo: out of interrupt vectors (%d allocatable)", len(vectorOrder))
+}
+
+// Reserve marks a specific vector as taken (callers that hand-place some
+// vectors and allocate the rest).
+func (a *VectorAllocator) Reserve(v apic.Vector) error {
+	if reservedVectors[v] {
+		return fmt.Errorf("topo: vector %#x is kernel-reserved", int(v))
+	}
+	if a.used[v] {
+		return fmt.Errorf("topo: vector %#x already allocated", int(v))
+	}
+	a.used[v] = true
+	return nil
+}
