@@ -27,10 +27,13 @@
 package affinity
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/prof"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/ttcp"
 )
 
@@ -239,4 +242,42 @@ func PerCPUBinTables(r *Result) []BinTable {
 // FormatTopSymbols renders a Table 4 style listing.
 func FormatTopSymbols(rows [][]prof.SymbolCount) string {
 	return prof.FormatTopSymbols(rows, perf.MachineClears)
+}
+
+// --- timeline tracing ---
+
+// TraceRecorder is the structured timeline recorder: a bounded ring of
+// typed records (context switches, interrupt delivery and handlers,
+// IPIs, softirqs, NIC DMA/interrupts, socket block/wake, lock
+// contention). Set Config.Trace to attach one to a run; it surfaces on
+// Result.Trace. Recording is passive — a traced run follows the exact
+// trajectory of an untraced one.
+type TraceRecorder = trace.Recorder
+
+// TraceConfig sizes a run's recorder; set it on Config.Trace.
+type TraceConfig = trace.Config
+
+// TraceRecord is one timeline entry; TraceKind is its type tag.
+type TraceRecord = trace.Record
+
+// TraceKind is the type of one timeline record.
+type TraceKind = trace.Kind
+
+// Series is the sampled gauge time series (per-CPU runqueue depth and
+// utilization, achieved Mbps, interrupt rate) collected on Result.Series
+// when Config.GaugeCycles is set.
+type Series = core.Series
+
+// WriteChromeTrace exports a recorder's timeline as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing: one track per CPU plus
+// one per NIC. clockHz converts virtual cycles to trace time; pass the
+// run's Config.CPU.ClockHz.
+func WriteChromeTrace(w io.Writer, r *TraceRecorder, clockHz uint64) error {
+	return trace.WriteChrome(w, r, clockHz)
+}
+
+// WriteTextTrace exports a recorder's timeline as a plain-text dump, one
+// record per line.
+func WriteTextTrace(w io.Writer, r *TraceRecorder, clockHz uint64) error {
+	return trace.WriteText(w, r, clockHz)
 }

@@ -23,6 +23,14 @@
 //	-table1                      print the Table 1 bin characterization
 //	-fig5                        print the Figure 5 impact indicators
 //	-table4                      print the Table 4 per-CPU clear symbols
+//	-trace file.json             record a timeline and write Chrome
+//	                             trace-event JSON (open in Perfetto or
+//	                             chrome://tracing)
+//	-trace-text file.txt         record a timeline and write a plain-text
+//	                             dump
+//	-timeseries file.csv         sample gauges (util, runqueue, Mbps, IRQ
+//	                             rate) over the measured window into a CSV
+//	-gauge-cycles n              gauge sampling period (default 2e6 = 1 ms)
 //
 // The machine shape flags compose with any mode or policy: e.g.
 // "-cpus 4 -mode full" is the §5 4P scaling point, and
@@ -59,6 +67,10 @@ func main() {
 	table4 := flag.Bool("table4", false, "print Table 4 per-CPU machine-clear symbols")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
 	perCPU := flag.Bool("percpu", false, "print per-CPU Table 1 characterizations")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	traceText := flag.String("trace-text", "", "write a plain-text timeline dump to this file")
+	timeseries := flag.String("timeseries", "", "write a gauge time-series CSV to this file")
+	gaugeCycles := flag.Uint64("gauge-cycles", 2_000_000, "gauge sampling period in cycles (with -timeseries)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeFlag)
@@ -112,6 +124,13 @@ func main() {
 		return
 	}
 
+	if *traceOut != "" || *traceText != "" {
+		cfg.Trace = &affinity.TraceConfig{}
+	}
+	if *timeseries != "" {
+		cfg.GaugeCycles = *gaugeCycles
+	}
+
 	if *seeds > 1 {
 		// Aggregate mode: fan the seeds across the worker pool and print
 		// the mean ± stdev summary; the per-run tables don't apply.
@@ -121,6 +140,37 @@ func main() {
 	}
 
 	r := affinity.Run(cfg)
+	writeTrace := func(path string, write func(w *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(1)
+		}
+		if err := write(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		writeTrace(*traceOut, func(f *os.File) error {
+			return affinity.WriteChromeTrace(f, r.Trace, cfg.CPU.ClockHz)
+		})
+	}
+	if *traceText != "" {
+		writeTrace(*traceText, func(f *os.File) error {
+			return affinity.WriteTextTrace(f, r.Trace, cfg.CPU.ClockHz)
+		})
+	}
+	if *timeseries != "" {
+		writeTrace(*timeseries, func(f *os.File) error {
+			return r.Series.WriteCSV(f)
+		})
+	}
 	if *jsonOut {
 		js, err := r.JSON()
 		if err != nil {

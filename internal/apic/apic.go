@@ -13,7 +13,12 @@
 // updates it requires.
 package apic
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // Vector identifies one interrupt line. The simulated NIC vectors use the
 // 0x19–0x27 range so profiler symbol names match the paper's Table 4
@@ -85,6 +90,9 @@ type IOAPIC struct {
 	// rotate policy performs — the overhead §7 calls out.
 	TPRWrites uint64
 	delivered uint64
+
+	rec      *trace.Recorder
+	traceNow func() sim.Time
 }
 
 // NewIOAPIC builds a router over the given processors with every vector
@@ -103,6 +111,14 @@ func NewIOAPIC(targets []Target) *IOAPIC {
 
 // SetPolicy selects the delivery policy for multi-CPU masks.
 func (a *IOAPIC) SetPolicy(p RoutePolicy) { a.policy = p }
+
+// SetTrace attaches a timeline recorder. The IO-APIC holds no engine
+// reference, so the caller also supplies the clock to stamp records with.
+// A nil recorder disables tracing.
+func (a *IOAPIC) SetTrace(rec *trace.Recorder, now func() sim.Time) {
+	a.rec = rec
+	a.traceNow = now
+}
 
 func (a *IOAPIC) route(vec Vector) *route {
 	r := a.routes[vec]
@@ -170,12 +186,18 @@ func (a *IOAPIC) Raise(vec Vector) int {
 		cpu = lowestBit(r.mask)
 	}
 	a.delivered++
+	if a.rec.Enabled() {
+		a.rec.IRQDeliver(a.traceNow(), cpu, int(vec))
+	}
 	a.targets[cpu].DeliverInterrupt(vec, KindDevice)
 	return cpu
 }
 
 // SendIPI delivers an inter-processor interrupt to the given CPU.
 func (a *IOAPIC) SendIPI(to int, vec Vector) {
+	if a.rec.Enabled() {
+		a.rec.IPI(a.traceNow(), to, int(vec))
+	}
 	a.targets[to].DeliverInterrupt(vec, KindIPI)
 }
 

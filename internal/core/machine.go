@@ -20,6 +20,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/ttcp"
 )
 
@@ -127,6 +128,15 @@ type Config struct {
 	// RecordLatency keeps per-transaction durations on each ttcp process
 	// (Machine.Procs[i].Latency()).
 	RecordLatency bool
+	// Trace, when non-nil, attaches a timeline recorder to the machine;
+	// the recorder surfaces on Machine.Rec and Result.Trace. Recording is
+	// passive: a traced run follows the exact trajectory of an untraced
+	// one.
+	Trace *trace.Config
+	// GaugeCycles, when non-zero, samples periodic gauges (per-CPU
+	// runqueue depth and utilization, achieved Mbps, device-interrupt
+	// rate) every GaugeCycles during Measure into Result.Series.
+	GaugeCycles uint64
 
 	CPU  cpu.Config
 	Tune kern.Tuning
@@ -184,13 +194,15 @@ type Machine struct {
 	Cfg Config
 	// Topo is the resolved machine shape; Plan the placement applied to
 	// it (what the seed computed inline from mode switches).
-	Topo    topo.Topology
-	Plan    *topo.Plan
-	Eng     *sim.Engine
-	Tab     *perf.SymbolTable
-	Ctr     *perf.Counters
-	K       *kern.Kernel
-	St      *tcp.Stack
+	Topo topo.Topology
+	Plan *topo.Plan
+	Eng  *sim.Engine
+	Tab  *perf.SymbolTable
+	Ctr  *perf.Counters
+	K    *kern.Kernel
+	St   *tcp.Stack
+	// Rec is the timeline recorder (nil unless Config.Trace was set).
+	Rec     *trace.Recorder
 	NICs    []*netdev.NIC
 	Sockets []*tcp.Socket
 	Clients []*tcp.Client
@@ -212,6 +224,10 @@ func NewMachine(cfg Config) *Machine {
 	eng := sim.NewEngine(cfg.Seed)
 	tab := perf.NewSymbolTable()
 	ctr := perf.NewCounters(tab, t.NumCPUs)
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder(*cfg.Trace)
+	}
 	k := kern.New(kern.Config{
 		Engine:  eng,
 		Space:   mem.NewSpace(),
@@ -220,9 +236,10 @@ func NewMachine(cfg Config) *Machine {
 		NumCPUs: t.NumCPUs,
 		CPU:     cfg.CPU,
 		Tune:    cfg.Tune,
+		Trace:   rec,
 	})
 	st := tcp.New(k, cfg.TCP)
-	m := &Machine{Cfg: cfg, Topo: t, Plan: plan, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st}
+	m := &Machine{Cfg: cfg, Topo: t, Plan: plan, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st, Rec: rec}
 
 	conns := t.NumConns()
 	m.Sockets = make([]*tcp.Socket, conns)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Result is one measured steady-state window.
@@ -32,6 +33,13 @@ type Result struct {
 	Ctr *perf.Counters
 	// IdleCycles is the per-CPU idle time inside the window.
 	IdleCycles []uint64
+
+	// Trace is the machine's timeline recorder (nil unless Config.Trace
+	// was set); it holds the whole run's records, not just this window.
+	Trace *trace.Recorder
+	// Series is the gauge time series sampled over this window (nil
+	// unless Config.GaugeCycles was set).
+	Series *Series
 }
 
 // Run builds a machine, warms it up, measures one window and shuts the
@@ -56,6 +64,11 @@ func (m *Machine) Measure(window uint64) *Result {
 		idle0[i] = c.IdleCycles()
 	}
 
+	var series *Series
+	if m.Cfg.GaugeCycles > 0 {
+		series = m.startGauges(m.Cfg.GaugeCycles, m.Eng.Now()+sim.Time(window))
+	}
+
 	m.Eng.Run(m.Eng.Now() + sim.Time(window))
 
 	elapsed := uint64(m.Eng.Now()) - startCycles
@@ -66,6 +79,8 @@ func (m *Machine) Measure(window uint64) *Result {
 		Transactions:  m.transactions() - startTxns,
 		Drops:         m.drops() - startDrops,
 		Ctr:           m.Ctr.Diff(snap),
+		Trace:         m.Rec,
+		Series:        series,
 	}
 	var busyTotal uint64
 	for i, c := range m.K.CPUs {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Series is a sampled gauge time series over one measurement window: the
+// coarse "what was the machine doing" companion to the event-level
+// trace.Recorder. Each sample row holds the instantaneous per-CPU
+// runqueue depth plus rates computed over the preceding period (per-CPU
+// utilization, achieved Mbps, device-interrupt rate).
+//
+// Sampling is passive: the sampler reads machine state but never touches
+// it or the random stream, so a sampled run follows the exact trajectory
+// of an unsampled one.
+type Series struct {
+	// PeriodCycles is the sampling period; ClockHz converts cycle stamps
+	// to wall time.
+	PeriodCycles uint64
+	ClockHz      uint64
+	// Times holds each sample's cycle stamp (end of its period).
+	Times []uint64
+	// RunQ and Util are per-sample, per-CPU gauges: runnable backlog at
+	// the sample instant, and busy fraction over the preceding period.
+	RunQ [][]int
+	Util [][]float64
+	// Mbps is application goodput over the preceding period; IRQRate is
+	// device interrupts per second over the same period.
+	Mbps    []float64
+	IRQRate []float64
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// WriteCSV emits the series as CSV: a header row, then one row per
+// sample with time, rates, and per-CPU utilization/runqueue columns.
+func (s *Series) WriteCSV(w io.Writer) error {
+	ncpu := 0
+	if len(s.Util) > 0 {
+		ncpu = len(s.Util[0])
+	}
+	var b strings.Builder
+	b.WriteString("cycles,ms,mbps,irq_per_sec")
+	for c := 0; c < ncpu; c++ {
+		fmt.Fprintf(&b, ",cpu%d_util,cpu%d_runq", c, c)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for i := range s.Times {
+		b.Reset()
+		ms := float64(s.Times[i]) * 1e3 / float64(s.ClockHz)
+		fmt.Fprintf(&b, "%d,%.4f,%.2f,%.1f", s.Times[i], ms, s.Mbps[i], s.IRQRate[i])
+		for c := 0; c < ncpu; c++ {
+			fmt.Fprintf(&b, ",%.4f,%d", s.Util[i][c], s.RunQ[i][c])
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the series to a string (convenience over WriteCSV).
+func (s *Series) CSV() string {
+	var b strings.Builder
+	s.WriteCSV(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// gaugeSampler walks the measurement window at a fixed period appending
+// rows to a Series. It is driven by engine events but is strictly
+// read-only with respect to machine state.
+type gaugeSampler struct {
+	m      *Machine
+	out    *Series
+	end    sim.Time
+	period sim.Time
+
+	prevBytes uint64
+	prevIRQs  uint64
+	prevIdle  []uint64
+	prevAt    sim.Time
+}
+
+// startGauges begins periodic sampling for a window ending at end,
+// returning the Series that will fill as the window runs. Must be called
+// at the start of the window, before the engine advances into it.
+func (m *Machine) startGauges(period uint64, end sim.Time) *Series {
+	clock := m.Cfg.CPU.ClockHz
+	g := &gaugeSampler{
+		m:      m,
+		out:    &Series{PeriodCycles: period, ClockHz: clock},
+		end:    end,
+		period: sim.Time(period),
+		prevAt: m.Eng.Now(),
+	}
+	g.prevBytes = m.appBytes()
+	g.prevIRQs = m.K.APIC.Delivered()
+	g.prevIdle = make([]uint64, len(m.K.CPUs))
+	for i, c := range m.K.CPUs {
+		g.prevIdle[i] = c.IdleCycles()
+	}
+	m.Eng.At(g.prevAt+g.period, g.sample)
+	return g.out
+}
+
+func (g *gaugeSampler) sample() {
+	m := g.m
+	now := m.Eng.Now()
+	if now > g.end {
+		return
+	}
+	elapsed := float64(now - g.prevAt)
+	s := g.out
+
+	s.Times = append(s.Times, uint64(now))
+
+	bytes := m.appBytes()
+	bits := float64(bytes-g.prevBytes) * 8
+	seconds := elapsed / float64(s.ClockHz)
+	mbps := 0.0
+	if seconds > 0 {
+		mbps = bits / seconds / 1e6
+	}
+	s.Mbps = append(s.Mbps, mbps)
+
+	irqs := m.K.APIC.Delivered()
+	rate := 0.0
+	if seconds > 0 {
+		rate = float64(irqs-g.prevIRQs) / seconds
+	}
+	s.IRQRate = append(s.IRQRate, rate)
+
+	utils := make([]float64, len(m.K.CPUs))
+	runq := make([]int, len(m.K.CPUs))
+	for i, c := range m.K.CPUs {
+		idle := c.IdleCycles()
+		d := idle - g.prevIdle[i]
+		if float64(d) > elapsed {
+			d = uint64(elapsed)
+		}
+		if elapsed > 0 {
+			utils[i] = (elapsed - float64(d)) / elapsed
+		}
+		runq[i] = c.QueueLen()
+		g.prevIdle[i] = idle
+	}
+	s.Util = append(s.Util, utils)
+	s.RunQ = append(s.RunQ, runq)
+
+	g.prevBytes = bytes
+	g.prevIRQs = irqs
+	g.prevAt = now
+
+	if now+g.period <= g.end {
+		m.Eng.At(now+g.period, g.sample)
+	}
+}

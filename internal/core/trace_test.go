@@ -1,0 +1,149 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/prof"
+	"repro/internal/trace"
+	"repro/internal/ttcp"
+)
+
+// quickTraceConfig is a small-window operating point for trace tests.
+func quickTraceConfig(mode Mode, size int) Config {
+	cfg := DefaultConfig(mode, ttcp.TX, size)
+	cfg.WarmupCycles = 2_000_000
+	cfg.MeasureCycles = 5_000_000
+	return cfg
+}
+
+// TestTracedRunMatchesUntraced pins the tentpole's zero-perturbation
+// contract: attaching a recorder (and the gauge sampler) must not change
+// the simulated trajectory — every measured metric is identical to the
+// untraced run's.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	base := Run(quickTraceConfig(ModeFull, 65536))
+
+	traced := quickTraceConfig(ModeFull, 65536)
+	traced.Trace = &trace.Config{}
+	traced.GaugeCycles = 1_000_000
+	r := Run(traced)
+
+	if r.String() != base.String() {
+		t.Fatalf("traced run diverged:\n  traced:   %s\n  untraced: %s", r, base)
+	}
+	if r.Bytes != base.Bytes || r.Transactions != base.Transactions {
+		t.Fatalf("traced run moved bytes/txns: %d/%d vs %d/%d",
+			r.Bytes, r.Transactions, base.Bytes, base.Transactions)
+	}
+	for _, ev := range []perf.Event{perf.Cycles, perf.Instructions, perf.MachineClears, perf.LLCMisses} {
+		for cpu := 0; cpu < 2; cpu++ {
+			if g, w := r.Ctr.CPUTotal(cpu, ev), base.Ctr.CPUTotal(cpu, ev); g != w {
+				t.Fatalf("cpu%d %v: traced %d, untraced %d", cpu, ev, g, w)
+			}
+		}
+	}
+	if r.Trace == nil || r.Trace.Len() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+	if r.Series == nil || r.Series.Len() == 0 {
+		t.Fatal("gauge sampling produced no series")
+	}
+	if base.Trace != nil || base.Series != nil {
+		t.Fatal("untraced run grew a recorder/series")
+	}
+}
+
+// TestTraceDeterminismAcrossRunners pins the tentpole's determinism
+// contract: the same seeded configs traced through a serial runner and a
+// parallel runner export byte-identical Chrome trace JSON, text dumps and
+// gauge CSVs.
+func TestTraceDeterminismAcrossRunners(t *testing.T) {
+	configs := func() []Config {
+		var cfgs []Config
+		for _, m := range Modes() {
+			cfg := quickTraceConfig(m, 65536)
+			cfg.Trace = &trace.Config{}
+			cfg.GaugeCycles = 1_000_000
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+	export := func(r *Runner, cfgs []Config) []string {
+		results := make([]*Result, len(cfgs))
+		r.Do(len(cfgs), func(i int) { results[i] = Run(cfgs[i]) })
+		var out []string
+		for _, res := range results {
+			var json, text strings.Builder
+			if err := trace.WriteChrome(&json, res.Trace, res.Cfg.CPU.ClockHz); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteText(&text, res.Trace, res.Cfg.CPU.ClockHz); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, json.String(), text.String(), res.Series.CSV())
+		}
+		return out
+	}
+	serial := export(NewRunner(1), configs())
+	parallel := export(NewRunner(4), configs())
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("export %d differs between serial and parallel runners", i)
+		}
+		if len(serial[i]) == 0 {
+			t.Fatalf("export %d is empty", i)
+		}
+	}
+}
+
+// TestTable4Golden pins the Table 4 listing — including the percentage
+// denominator fix in prof.TopSymbols (Pct over the listed Engine+Driver
+// population, not all symbols) — against a golden fixture.
+func TestTable4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full cells; skipped in -short mode")
+	}
+	var out strings.Builder
+	for _, mode := range []Mode{ModeNone, ModeFull} {
+		cfg := DefaultConfig(mode, ttcp.TX, 128)
+		cfg.WarmupCycles = 10_000_000
+		cfg.MeasureCycles = 30_000_000
+		r := Run(cfg)
+		out.WriteString("=== " + mode.String() + " ===\n")
+		out.WriteString(prof.FormatTopSymbols(TopClearSymbols(r, 8), perf.MachineClears))
+	}
+	want, err := os.ReadFile("testdata/table4_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("Table 4 output diverged from fixture\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestVerifyPointsCoverChecks pins the verifyPoints prefetch list against
+// the checks: if a check requests an operating point that was not
+// prefetched, the fallback runs it serially outside the runner — silently
+// until this test.
+func TestVerifyPointsCoverChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full check suite; skipped in -short mode")
+	}
+	var missed []string
+	verifyMissHook = func(m Mode, d ttcp.Direction, size int) {
+		missed = append(missed, m.String()+"/"+d.String())
+	}
+	defer func() { verifyMissHook = nil }()
+	VerifyShapeWith(nil, func(m Mode, d ttcp.Direction, size int) Config {
+		cfg := DefaultConfig(m, d, size)
+		cfg.WarmupCycles = 2_000_000
+		cfg.MeasureCycles = 5_000_000
+		return cfg
+	})
+	if len(missed) > 0 {
+		t.Fatalf("checks requested points missing from verifyPoints (ran serially, bypassing the runner): %v", missed)
+	}
+}

@@ -44,6 +44,12 @@ var verifyPoints = []struct {
 	{ModeNone, ttcp.RX, 65536},
 }
 
+// verifyMissHook, when non-nil, is called for every operating point the
+// scoring pass requests that was not prefetched from verifyPoints (and
+// therefore runs serially, bypassing the runner). Tests use it to detect
+// verifyPoints drifting out of sync with the checks.
+var verifyMissHook func(Mode, ttcp.Direction, int)
+
 // VerifyShapeWith is VerifyShape on an explicit runner (nil = the default
 // runner; NewRunner(1) scores from strictly sequential runs). Scores are
 // bit-identical regardless of the runner: every run is an independent
@@ -82,6 +88,12 @@ func VerifyShapeWith(r *Runner, cfgFor func(Mode, ttcp.Direction, int) Config) [
 		k := key(m, d, size)
 		if r, ok := runs[k]; ok {
 			return r
+		}
+		// Fallback for points missing from verifyPoints: a serial run
+		// outside the runner. The hook lets tests assert this never
+		// happens, keeping verifyPoints in sync with the checks below.
+		if verifyMissHook != nil {
+			verifyMissHook(m, d, size)
 		}
 		res := Run(cfgFor(m, d, size))
 		runs[k] = res

@@ -60,6 +60,9 @@ type KCPU struct {
 	// sampling "skid" the paper describes in §6.3.
 	lastSym perf.Symbol
 	lastMM  int
+	// lastTaskID is the most recently dispatched task (-1 when fresh),
+	// recorded as the outgoing side of context-switch trace records.
+	lastTaskID int
 
 	idleStart  sim.Time
 	idleCycles uint64
@@ -72,7 +75,7 @@ type KCPU struct {
 }
 
 func newKCPU(k *Kernel, id int, model *cpu.Model) *KCPU {
-	c := &KCPU{k: k, id: id, Model: model, state: stIdle, lastMM: -1}
+	c := &KCPU{k: k, id: id, Model: model, state: stIdle, lastMM: -1, lastTaskID: -1}
 	c.procIdle = k.NewProc("cpu_idle", perf.BinIdle, 256)
 	c.lastSym = c.procIdle.Sym
 	c.rqAddr = k.Space.Alloc(256, fmt.Sprintf("runqueue%d", id))
@@ -144,6 +147,7 @@ func (c *KCPU) beginIRQChain(done func()) {
 	}
 	p := c.irqQ[0]
 	c.irqQ = c.irqQ[1:]
+	c.k.Trace.IRQEnter(c.k.Eng.Now(), c.id, int(p.vec), int(p.kind))
 
 	var handlerCycles sim.Cycles
 	var clearPenalty sim.Cycles
@@ -188,6 +192,7 @@ func (c *KCPU) beginIRQChain(done func()) {
 	}
 
 	c.k.Eng.After(clearPenalty+handlerCycles, func() {
+		c.k.Trace.IRQExit(c.k.Eng.Now(), c.id, int(p.vec), int(p.kind))
 		if effect != nil {
 			effect(c)
 		}
@@ -238,7 +243,9 @@ func (c *KCPU) softirqdLoop() {
 				}
 				c.softPend &^= bit
 				if h := c.k.softirqs[s]; h != nil {
+					c.k.Trace.SoftirqEnter(c.k.Eng.Now(), c.id, int(s))
 					h(env)
+					c.k.Trace.SoftirqExit(c.k.Eng.Now(), c.id, int(s))
 				}
 			}
 		}
@@ -353,6 +360,8 @@ func (c *KCPU) dispatch(next *Task) {
 	if next.lastCPU != c.id {
 		c.k.Stats.Migrations++
 	}
+	c.k.Trace.CtxSwitch(c.k.Eng.Now(), c.id, c.lastTaskID, next.ID, next.Name)
+	c.lastTaskID = next.ID
 	c.curr = next
 	next.state = TaskRunning
 	next.lastCPU = c.id

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Tuning collects the kernel-level model parameters. The defaults are
@@ -146,6 +147,10 @@ type Kernel struct {
 	// read by do_gettimeofday on the receive path — a shared line that
 	// bounces between processors.
 	XtimeAddr mem.Addr
+	// Trace is the machine's timeline recorder; nil (the default) disables
+	// recording. The kernel, its devices and the stack all stamp records
+	// through this field, which is nil-safe at every call site.
+	Trace *trace.Recorder
 
 	irqActions map[apic.Vector]*IRQAction
 	softirqs   [numSoftirqs]SoftirqHandler
@@ -195,6 +200,8 @@ type Config struct {
 	NumCPUs int
 	CPU     cpu.Config
 	Tune    Tuning
+	// Trace, when non-nil, receives the machine's timeline records.
+	Trace *trace.Recorder
 }
 
 // New builds the kernel, its processors, their cache hierarchies and the
@@ -209,6 +216,7 @@ func New(cfg Config) *Kernel {
 		Tab:        cfg.Table,
 		Ctr:        cfg.Ctr,
 		Tune:       cfg.Tune,
+		Trace:      cfg.Trace,
 		irqActions: make(map[apic.Vector]*IRQAction),
 	}
 	if k.Ctr == nil {
@@ -228,6 +236,9 @@ func New(cfg Config) *Kernel {
 		targets[i] = kc
 	}
 	k.APIC = apic.NewIOAPIC(targets)
+	if k.Trace.Enabled() {
+		k.APIC.SetTrace(k.Trace, cfg.Engine.Now)
+	}
 
 	k.XtimeAddr = cfg.Space.Alloc(mem.LineSize, "xtime")
 	k.procSchedule = k.NewProc("schedule", perf.BinInterface, 1536)

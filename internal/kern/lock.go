@@ -114,6 +114,7 @@ func (l *SpinLock) Unlock(env *Env) {
 		now := l.k.Eng.Now()
 		l.k.Eng.At(now, func() {
 			spun := sim.Cycles(now - w.start)
+			l.k.Trace.LockSpin(now, w.env.cpu.id, l.name, uint64(spun))
 			w.env.cpu.Model.Spin(l.proc.Sym, spun)
 			w.env.cpu.lastSym = l.proc.Sym
 			w.env.co.Resume()

@@ -270,6 +270,7 @@ func (n *NIC) transmitNext() {
 		n.txRing.markDone(req)
 		n.TxFrames++
 		n.TxBytes += uint64(req.Frame.Len)
+		n.d.k.Trace.NICDMA(eng.Now(), n.id, false, req.Frame.Len)
 		if n.peer != nil && !eng.RNG().Bernoulli(n.cfg.LossRate) {
 			f := req.Frame
 			eng.After(n.cfg.WireLatencyCycles, func() { n.peer.ToPeer(f) })
@@ -319,6 +320,7 @@ func (n *NIC) InjectFromWire(f WireFrame) {
 		}
 		n.RxFrames++
 		n.RxBytes += uint64(f.Len)
+		n.d.k.Trace.NICDMA(eng.Now(), n.id, true, f.Len)
 		q.rxFrames++
 		n.maybeRaiseIRQ(q)
 	})
@@ -341,6 +343,7 @@ func (n *NIC) maybeRaiseIRQ(q *rxQueue) {
 		n.raiseNow(q)
 		return
 	}
+	n.d.k.Trace.NICCoalesce(eng.Now(), n.id, q.index, uint64(q.lastIRQ+gap-eng.Now()))
 	eng.At(q.lastIRQ+gap, func() { n.raiseNow(q) })
 }
 
@@ -348,6 +351,7 @@ func (n *NIC) raiseNow(q *rxQueue) {
 	q.lastIRQ = n.eng().Now()
 	n.IRQsRaised++
 	q.irqs++
+	n.d.k.Trace.NICIRQ(q.lastIRQ, n.id, q.index, int(q.vec))
 	n.d.k.APIC.Raise(q.vec)
 }
 

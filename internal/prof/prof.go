@@ -147,9 +147,15 @@ func TopSymbols(c *perf.Counters, ev perf.Event, bins []perf.Bin, n int) [][]Sym
 	out := make([][]SymbolCount, c.CPUs())
 	for cpuID := 0; cpuID < c.CPUs(); cpuID++ {
 		var rows []SymbolCount
+		// Pct is a share of the *listed population*: the denominator only
+		// sums symbols the bin filter admits, so a Table-4 style listing
+		// restricted to two bins reports those symbols' split of their own
+		// events rather than under-reporting against the machine total.
 		var cpuTotal uint64
 		for _, s := range tab.Symbols() {
-			cpuTotal += c.Get(cpuID, s, ev)
+			if binOK(tab.Info(s).Bin) {
+				cpuTotal += c.Get(cpuID, s, ev)
+			}
 		}
 		for _, s := range tab.Symbols() {
 			info := tab.Info(s)

@@ -114,9 +114,14 @@ func TestTopSymbolsOrderingAndFilter(t *testing.T) {
 	if cpu0[0].Symbol != "IRQ0x19_interrupt" || cpu0[0].Count != 80 {
 		t.Fatalf("cpu0 top = %+v, want irq/80", cpu0[0])
 	}
-	// Pct is relative to ALL clears on that CPU (including filtered bins).
-	if got := cpu0[0].Pct; got != 80.0/200.0 {
-		t.Fatalf("pct = %v, want 0.4", got)
+	// Pct is the share among the listed population: the denominator sums
+	// only symbols the bin filter admits (80 + 50), not the filtered-out
+	// lock clears.
+	if got := cpu0[0].Pct; got != 80.0/130.0 {
+		t.Fatalf("pct = %v, want %v", got, 80.0/130.0)
+	}
+	if got := cpu0[1].Pct; got != 50.0/130.0 {
+		t.Fatalf("pct = %v, want %v", got, 50.0/130.0)
 	}
 	if rows[1][0].Count != 10 {
 		t.Fatalf("cpu1 top = %+v", rows[1][0])

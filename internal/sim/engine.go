@@ -302,9 +302,12 @@ func (e *Engine) Run(until Time) Time {
 }
 
 // Drain runs every remaining event regardless of time. It is intended for
-// test teardown, not for experiments.
+// test teardown, not for experiments. Like Run, it honours Halt and
+// reports each fired event to the SetTrace hook, so a consumer observing
+// the run sees teardown events too.
 func (e *Engine) Drain() {
-	for len(e.heap) > 0 {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
 		ev := e.popMin()
 		if ev.dead {
 			e.deadPending--
@@ -313,6 +316,9 @@ func (e *Engine) Drain() {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.trace != nil {
+			e.trace(e.now, e.fired)
+		}
 		ev.fn()
 		e.recycle(ev)
 	}

@@ -505,3 +505,84 @@ func TestEngineDrainRunsEverything(t *testing.T) {
 		t.Fatal("queue not empty after drain")
 	}
 }
+
+// TestEngineTraceOrdering pins the SetTrace contract: the hook observes
+// strictly monotone (time, fired) pairs, fired counts exactly the events
+// that executed, and cancelled events never reach the hook.
+func TestEngineTraceOrdering(t *testing.T) {
+	e := NewEngine(1)
+	type obs struct {
+		at    Time
+		fired uint64
+	}
+	var seen []obs
+	e.SetTrace(func(at Time, fired uint64) { seen = append(seen, obs{at, fired}) })
+
+	var cancelled *Event
+	executed := 0
+	for i := 0; i < 20; i++ {
+		at := Time(10 * (i + 1))
+		ev := e.At(at, func() { executed++ })
+		if i == 7 {
+			cancelled = ev
+		}
+		if i == 13 {
+			ev.Cancel()
+		}
+	}
+	cancelled.Cancel()
+	// Same-time events must still trace in schedule order.
+	e.At(50, func() { executed++ })
+	e.Run(10_000)
+
+	if executed != 19 {
+		t.Fatalf("executed %d events, want 19", executed)
+	}
+	if len(seen) != executed {
+		t.Fatalf("hook called %d times for %d executed events", len(seen), executed)
+	}
+	for i, o := range seen {
+		if o.fired != uint64(i+1) {
+			t.Fatalf("hook %d saw fired=%d, want %d", i, o.fired, i+1)
+		}
+		if i > 0 && o.at < seen[i-1].at {
+			t.Fatalf("hook times regress: %d after %d", o.at, seen[i-1].at)
+		}
+		if o.at == 80 || o.at == 140 {
+			t.Fatalf("hook called for cancelled event at t=%d", o.at)
+		}
+	}
+	if e.Fired() != uint64(executed) {
+		t.Fatalf("Fired = %d, want %d", e.Fired(), executed)
+	}
+}
+
+// TestEngineDrainTracesAndHalts pins the Drain fixes: the trace hook sees
+// drained events exactly as Run's, and Halt stops a drain mid-way.
+func TestEngineDrainTracesAndHalts(t *testing.T) {
+	e := NewEngine(1)
+	var traced []Time
+	e.SetTrace(func(at Time, fired uint64) { traced = append(traced, at) })
+	e.At(10, func() {})
+	e.At(20, func() {})
+	e.Drain()
+	if len(traced) != 2 || traced[0] != 10 || traced[1] != 20 {
+		t.Fatalf("drain bypassed the trace hook: %v", traced)
+	}
+
+	n := 0
+	e.At(30, func() { n++; e.Halt() })
+	e.At(40, func() { n++ })
+	e.Drain()
+	if n != 1 {
+		t.Fatalf("drain ran %d events after Halt, want 1", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after halted drain, want 1", e.Pending())
+	}
+	// A fresh Drain resets the halt flag, like Run.
+	e.Drain()
+	if n != 2 || e.Pending() != 0 {
+		t.Fatalf("second drain did not resume: n=%d pending=%d", n, e.Pending())
+	}
+}

@@ -221,6 +221,7 @@ func (s *Socket) Write(env *kern.Env, userBuf mem.Addr, size int) {
 				x.Instr(115, 0.22, 0.03).Overhead(615).Store(s.sockAddr, 64)
 			})
 			for s.sndBufBytes+skbTruesize > st.Cfg.SndBuf {
+				st.K.Trace.SockBlock(st.K.Now(), env.CPU().ID(), s.Conn, "sndbuf")
 				env.Sleep(s.sndWait)
 			}
 			s.lockSock(env)
@@ -443,6 +444,7 @@ func (s *Socket) rcvData(env *kern.Env, pkt netdev.RxPacket) {
 		env.Run(p.sockReadable, func(x *cpu.Exec) {
 			x.Instr(75, 0.2, 0.02).Overhead(325).Load(s.sockAddr, 64)
 		})
+		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "rcvbuf", s.rcvWait.Len())
 		s.rcvWait.WakeAll(st.K, env)
 	}
 }
@@ -506,6 +508,7 @@ func (s *Socket) rcvAck(env *kern.Env, f netdev.WireFrame) {
 		env.Run(p.writeSpace, func(x *cpu.Exec) {
 			x.Instr(70, 0.2, 0.02).Overhead(320).Load(s.sockAddr, 64)
 		})
+		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "sndbuf", s.sndWait.Len())
 		s.sndWait.WakeAll(st.K, env)
 	}
 }
@@ -548,6 +551,7 @@ func (s *Socket) Read(env *kern.Env, userBuf mem.Addr, size int) {
 				x.Instr(115, 0.22, 0.03).Overhead(615).Store(s.sockAddr, 64)
 			})
 			for len(s.rcvQ) == 0 {
+				st.K.Trace.SockBlock(st.K.Now(), env.CPU().ID(), s.Conn, "rcvbuf")
 				env.Sleep(s.rcvWait)
 			}
 			s.lockSock(env)

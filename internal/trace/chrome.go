@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome trace-event phase characters used by the exporter.
+const (
+	phaseBegin    = "B"
+	phaseEnd      = "E"
+	phaseComplete = "X"
+	phaseInstant  = "i"
+	phaseMeta     = "M"
+)
+
+// Synthetic process IDs grouping the tracks: one "process" holding all
+// CPU timelines and one holding all NIC timelines.
+const (
+	pidCPU = 1
+	pidNIC = 2
+)
+
+// softirqNames mirrors kern's Softirq numbering for track labels.
+var softirqNames = []string{"softirq timer", "softirq net_tx", "softirq net_rx"}
+
+// irqKindNames mirrors apic.Kind numbering.
+var irqKindNames = []string{"device", "ipi", "timer"}
+
+func softirqName(v int64) string {
+	if v >= 0 && int(v) < len(softirqNames) {
+		return softirqNames[v]
+	}
+	return fmt.Sprintf("softirq %d", v)
+}
+
+func irqKindName(v int64) string {
+	if v >= 0 && int(v) < len(irqKindNames) {
+		return irqKindNames[v]
+	}
+	return fmt.Sprintf("kind%d", v)
+}
+
+// WriteChrome exports the recorder's timeline as Chrome trace-event JSON
+// (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// Perfetto or chrome://tracing. clockHz converts virtual cycles to trace
+// microseconds. Tracks: one thread per CPU under a "cpu" process, one
+// thread per NIC under a "nic" process. Handler and softirq activity
+// become nested B/E spans; contended lock acquisitions become complete
+// ("X") slices spanning the spin; everything else is an instant event.
+//
+// The output is a pure function of the recorder's contents: two
+// recorders with equal records and intern tables serialize to identical
+// bytes.
+func WriteChrome(w io.Writer, r *Recorder, clockHz uint64) error {
+	if clockHz == 0 {
+		return fmt.Errorf("trace: WriteChrome needs a clock rate")
+	}
+	recs := r.Records()
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	// Microseconds per cycle, applied as cycles*1e6/clockHz in float.
+	us := func(cycles uint64) string {
+		return fmt.Sprintf("%.3f", float64(cycles)*1e6/float64(clockHz))
+	}
+
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf("%s", s)
+	}
+
+	// Track discovery: which CPU and NIC timelines appear at all.
+	maxCPU, maxNIC := -1, -1
+	for _, rec := range recs {
+		if int(rec.CPU) > maxCPU {
+			maxCPU = int(rec.CPU)
+		}
+		switch rec.Kind {
+		case KindNICDMA, KindNICIRQ, KindNICCoalesce:
+			if int(rec.Arg0) > maxNIC {
+				maxNIC = int(rec.Arg0)
+			}
+		}
+	}
+	meta := func(pid int, tid int, key, value string) {
+		emit(fmt.Sprintf("{\"ph\":%q,\"pid\":%d,\"tid\":%d,\"name\":%q,\"args\":{\"name\":%s}}",
+			phaseMeta, pid, tid, key, jsonString(value)))
+	}
+	meta(pidCPU, 0, "process_name", "cpu")
+	for c := 0; c <= maxCPU; c++ {
+		meta(pidCPU, c, "thread_name", fmt.Sprintf("cpu%d", c))
+	}
+	if maxNIC >= 0 {
+		meta(pidNIC, 0, "process_name", "nic")
+		for n := 0; n <= maxNIC; n++ {
+			meta(pidNIC, n, "thread_name", fmt.Sprintf("nic%d", n))
+		}
+	}
+
+	span := func(ph string, pid, tid int, at uint64, name string, args string) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "{\"ph\":%q,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":%s",
+			ph, pid, tid, us(at), jsonString(name))
+		if ph == phaseInstant {
+			b.WriteString(",\"s\":\"t\"")
+		}
+		if args != "" {
+			fmt.Fprintf(&b, ",\"args\":{%s}", args)
+		}
+		b.WriteString("}")
+		return b.String()
+	}
+
+	// Per-(pid,tid) open B count so a ring that wrapped mid-span never
+	// emits an E without a matching B (viewers reject unbalanced pairs).
+	depth := map[[2]int]int{}
+	for _, rec := range recs {
+		cpu := int(rec.CPU)
+		at := uint64(rec.At)
+		switch rec.Kind {
+		case KindCtxSwitch:
+			emit(span(phaseInstant, pidCPU, cpu, at,
+				"switch: "+r.Str(rec.Arg2),
+				fmt.Sprintf("\"prev\":%d,\"next\":%d", rec.Arg0, rec.Arg1)))
+		case KindIRQDeliver:
+			emit(span(phaseInstant, pidCPU, cpu, at,
+				fmt.Sprintf("deliver %#x", rec.Arg0), ""))
+		case KindIRQEnter:
+			depth[[2]int{pidCPU, cpu}]++
+			emit(span(phaseBegin, pidCPU, cpu, at,
+				fmt.Sprintf("irq %#x (%s)", rec.Arg0, irqKindName(rec.Arg1)), ""))
+		case KindIRQExit:
+			key := [2]int{pidCPU, cpu}
+			if depth[key] == 0 {
+				continue // span began before the ring's oldest record
+			}
+			depth[key]--
+			emit(span(phaseEnd, pidCPU, cpu, at,
+				fmt.Sprintf("irq %#x (%s)", rec.Arg0, irqKindName(rec.Arg1)), ""))
+		case KindIPI:
+			emit(span(phaseInstant, pidCPU, cpu, at,
+				fmt.Sprintf("ipi %#x", rec.Arg0), ""))
+		case KindSoftirqEnter:
+			depth[[2]int{pidCPU, cpu}]++
+			emit(span(phaseBegin, pidCPU, cpu, at, softirqName(rec.Arg0), ""))
+		case KindSoftirqExit:
+			key := [2]int{pidCPU, cpu}
+			if depth[key] == 0 {
+				continue
+			}
+			depth[key]--
+			emit(span(phaseEnd, pidCPU, cpu, at, softirqName(rec.Arg0), ""))
+		case KindNICDMA:
+			dir := "tx"
+			if rec.Arg1 == 0 {
+				dir = "rx"
+			}
+			emit(span(phaseInstant, pidNIC, int(rec.Arg0), at,
+				fmt.Sprintf("dma %s %dB", dir, rec.Arg2), ""))
+		case KindNICIRQ:
+			emit(span(phaseInstant, pidNIC, int(rec.Arg0), at,
+				fmt.Sprintf("irq q%d %#x", rec.Arg1, rec.Arg2), ""))
+		case KindNICCoalesce:
+			emit(span(phaseInstant, pidNIC, int(rec.Arg0), at,
+				fmt.Sprintf("coalesce q%d", rec.Arg1),
+				fmt.Sprintf("\"defer_cycles\":%d", rec.Arg2)))
+		case KindSockBlock:
+			emit(span(phaseInstant, pidCPU, cpu, at,
+				fmt.Sprintf("block conn%d (%s)", rec.Arg0, r.Str(rec.Arg1)), ""))
+		case KindSockWake:
+			emit(span(phaseInstant, pidCPU, cpu, at,
+				fmt.Sprintf("wake conn%d (%s)", rec.Arg0, r.Str(rec.Arg1)),
+				fmt.Sprintf("\"woken\":%d", rec.Arg2)))
+		case KindLockSpin:
+			spun := uint64(rec.Arg1)
+			start := at - spun
+			var b strings.Builder
+			fmt.Fprintf(&b, "{\"ph\":%q,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s}",
+				phaseComplete, pidCPU, cpu, us(start), us(spun),
+				jsonString("spin: "+r.Str(rec.Arg0)))
+			emit(b.String())
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "\"\""
+	}
+	return string(b)
+}
+
+// errWriter folds write errors so the exporter reads linearly.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

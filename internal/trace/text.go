@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText exports the timeline as plain text, one record per line:
+//
+//	[   12345678cy    6.173ms] cpu0  irq-enter    vec=0x19 device
+//
+// clockHz converts cycles to wall time for the second column. Like
+// WriteChrome, the output is a pure function of the recorder's contents.
+func WriteText(w io.Writer, r *Recorder, clockHz uint64) error {
+	if clockHz == 0 {
+		return fmt.Errorf("trace: WriteText needs a clock rate")
+	}
+	bw := &errWriter{w: w}
+	if d := r.Dropped(); d > 0 {
+		bw.printf("# ring wrapped: %d oldest records overwritten\n", d)
+	}
+	for _, rec := range r.Records() {
+		ms := float64(rec.At) * 1e3 / float64(clockHz)
+		where := "-    "
+		if rec.CPU >= 0 {
+			where = fmt.Sprintf("cpu%-2d", rec.CPU)
+		}
+		bw.printf("[%12dcy %10.4fms] %s %-13s %s\n",
+			uint64(rec.At), ms, where, rec.Kind, describe(r, rec))
+	}
+	return bw.err
+}
+
+// describe renders a record's kind-specific arguments.
+func describe(r *Recorder, rec Record) string {
+	switch rec.Kind {
+	case KindCtxSwitch:
+		return fmt.Sprintf("task%d -> task%d (%s)", rec.Arg0, rec.Arg1, r.Str(rec.Arg2))
+	case KindIRQDeliver:
+		return fmt.Sprintf("vec=%#x", rec.Arg0)
+	case KindIRQEnter, KindIRQExit:
+		return fmt.Sprintf("vec=%#x %s", rec.Arg0, irqKindName(rec.Arg1))
+	case KindIPI:
+		return fmt.Sprintf("vec=%#x", rec.Arg0)
+	case KindSoftirqEnter, KindSoftirqExit:
+		return softirqName(rec.Arg0)
+	case KindNICDMA:
+		dir := "tx"
+		if rec.Arg1 == 0 {
+			dir = "rx"
+		}
+		return fmt.Sprintf("nic%d %s %dB", rec.Arg0, dir, rec.Arg2)
+	case KindNICIRQ:
+		return fmt.Sprintf("nic%d q%d vec=%#x", rec.Arg0, rec.Arg1, rec.Arg2)
+	case KindNICCoalesce:
+		return fmt.Sprintf("nic%d q%d defer=%dcy", rec.Arg0, rec.Arg1, rec.Arg2)
+	case KindSockBlock:
+		return fmt.Sprintf("conn%d %s", rec.Arg0, r.Str(rec.Arg1))
+	case KindSockWake:
+		return fmt.Sprintf("conn%d %s woken=%d", rec.Arg0, r.Str(rec.Arg1), rec.Arg2)
+	case KindLockSpin:
+		return fmt.Sprintf("%s spun=%dcy", r.Str(rec.Arg0), rec.Arg1)
+	}
+	return ""
+}

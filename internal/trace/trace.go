@@ -1,0 +1,301 @@
+// Package trace is the simulator's structured timeline layer: the
+// magic-trace/KUtrace-style record of *when* things happened that the
+// aggregate counters (internal/perf) deliberately average away. A
+// per-machine Recorder collects fixed-size typed records — context
+// switches, interrupt delivery and handler entry/exit, IPIs, softirq
+// passes, NIC DMA/interrupt/coalescing, socket block/wake and spinlock
+// contention — into a bounded ring buffer, fed by instrumentation points
+// in kern, apic, netdev and tcp.
+//
+// Recording is strictly passive: instrumentation reads simulation state
+// but never schedules events, touches the random stream, or charges
+// cycles, so an instrumented run is cycle-identical to an uninstrumented
+// one. With no Recorder attached (the default), every instrumentation
+// point is a nil check: all Recorder methods are safe on a nil receiver
+// and return immediately, so tracing costs nothing when disabled.
+//
+// Exporters: WriteChrome emits Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing (one track per CPU, one per NIC), and
+// WriteText emits a plain-text timeline for terminal diffing.
+package trace
+
+import "repro/internal/sim"
+
+// Kind is the type of one timeline record.
+type Kind uint8
+
+const (
+	// KindCtxSwitch is a context switch: Arg0 = previous task ID (-1 when
+	// the CPU was idle or fresh), Arg1 = next task ID, Arg2 = interned
+	// name of the next task.
+	KindCtxSwitch Kind = iota
+	// KindIRQDeliver is the IO-APIC routing a device vector to a CPU:
+	// Arg0 = vector. Emitted at delivery, before the handler runs.
+	KindIRQDeliver
+	// KindIRQEnter is a CPU starting an interrupt handler: Arg0 = vector,
+	// Arg1 = delivery class (apic.Kind numbering: 0 device, 1 IPI,
+	// 2 timer).
+	KindIRQEnter
+	// KindIRQExit is the matching handler completion (same args).
+	KindIRQExit
+	// KindIPI is an inter-processor interrupt send: CPU = target,
+	// Arg0 = vector.
+	KindIPI
+	// KindSoftirqEnter is a softirq handler starting on a CPU: Arg0 = the
+	// softirq vector (kern.Softirq numbering).
+	KindSoftirqEnter
+	// KindSoftirqExit is the matching handler completion (same args).
+	KindSoftirqExit
+	// KindNICDMA is a device DMA transaction: Arg0 = NIC ID, Arg1 = 0 for
+	// a receive DMA write, 1 for a transmit DMA read, Arg2 = payload
+	// bytes. CPU is -1 (the bus master is not a processor).
+	KindNICDMA
+	// KindNICIRQ is a NIC raising its interrupt line: Arg0 = NIC ID,
+	// Arg1 = queue index, Arg2 = vector. CPU is -1; the routing decision
+	// appears as the subsequent KindIRQDeliver.
+	KindNICIRQ
+	// KindNICCoalesce is an interrupt deferred by the coalescing window:
+	// Arg0 = NIC ID, Arg1 = queue index, Arg2 = cycles deferred.
+	KindNICCoalesce
+	// KindSockBlock is a process blocking on a socket: Arg0 = connection,
+	// Arg1 = interned reason ("sndbuf", "rcvbuf").
+	KindSockBlock
+	// KindSockWake is a socket waking its sleepers: Arg0 = connection,
+	// Arg1 = interned reason, Arg2 = number of tasks woken.
+	KindSockWake
+	// KindLockSpin is a contended spinlock acquisition, recorded when the
+	// lock is granted: Arg0 = interned lock name, Arg1 = cycles spent
+	// spinning. CPU = the waiter's processor.
+	KindLockSpin
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"ctx-switch", "irq-deliver", "irq-enter", "irq-exit", "ipi",
+	"softirq-enter", "softirq-exit", "nic-dma", "nic-irq", "nic-coalesce",
+	"sock-block", "sock-wake", "lock-spin",
+}
+
+// String names the record kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Record is one fixed-size timeline entry. The meaning of Arg0-Arg2
+// depends on Kind (see the Kind constants). CPU is the processor the
+// record is scoped to, or -1 for machine-scoped records (NIC activity).
+type Record struct {
+	At   sim.Time
+	Kind Kind
+	CPU  int16
+	Arg0 int64
+	Arg1 int64
+	Arg2 int64
+}
+
+// Config sizes a Recorder.
+type Config struct {
+	// Capacity bounds the ring buffer; once full, the oldest records are
+	// overwritten (and counted in Dropped). 0 selects DefaultCapacity.
+	Capacity int
+}
+
+// DefaultCapacity is the default ring size: enough for the paper's
+// 120 ms measurement window at quick settings without overwriting.
+const DefaultCapacity = 1 << 18
+
+// Recorder is a bounded ring of timeline records plus the string-intern
+// table the records reference. It belongs to exactly one machine and is
+// only touched from that machine's simulation goroutine, so it needs no
+// locking; distinct machines (e.g. cells of a parallel sweep) each carry
+// their own.
+//
+// A nil *Recorder is the disabled state: every method is nil-safe and
+// returns immediately, so instrumentation points need no guards.
+type Recorder struct {
+	ring    []Record
+	start   int // index of the oldest record
+	size    int // live records in ring
+	dropped uint64
+
+	strs    []string
+	strIDs  map[string]int64
+	enabled bool
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder(cfg Config) *Recorder {
+	cap := cfg.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	r := &Recorder{
+		ring:    make([]Record, 0, cap),
+		strIDs:  make(map[string]int64),
+		enabled: true,
+	}
+	// ID 0 is the empty string so a zero Arg is always resolvable.
+	r.Intern("")
+	return r
+}
+
+// Enabled reports whether records are being collected (false on nil).
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Intern maps a string to a stable small integer for use in record args.
+// Interning the same string twice yields the same ID. On a nil recorder
+// it returns 0 without allocating.
+func (r *Recorder) Intern(s string) int64 {
+	if r == nil {
+		return 0
+	}
+	if id, ok := r.strIDs[s]; ok {
+		return id
+	}
+	id := int64(len(r.strs))
+	r.strs = append(r.strs, s)
+	r.strIDs[s] = id
+	return id
+}
+
+// Str resolves an interned ID ("" for unknown IDs or a nil recorder).
+func (r *Recorder) Str(id int64) string {
+	if r == nil || id < 0 || id >= int64(len(r.strs)) {
+		return ""
+	}
+	return r.strs[id]
+}
+
+// Emit appends one record, overwriting the oldest when the ring is full.
+// Nil-safe: the disabled path is a single comparison.
+func (r *Recorder) Emit(at sim.Time, kind Kind, cpu int, a0, a1, a2 int64) {
+	if r == nil {
+		return
+	}
+	rec := Record{At: at, Kind: kind, CPU: int16(cpu), Arg0: a0, Arg1: a1, Arg2: a2}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+		r.size++
+		return
+	}
+	// Full: overwrite the oldest.
+	r.ring[r.start] = rec
+	r.start = (r.start + 1) % len(r.ring)
+	r.dropped++
+}
+
+// Len reports the number of live records.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.size
+}
+
+// Dropped reports how many records were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Records returns the live records oldest-first (a copy; the recorder
+// may keep collecting).
+func (r *Recorder) Records() []Record {
+	if r == nil || r.size == 0 {
+		return nil
+	}
+	out := make([]Record, 0, r.size)
+	out = append(out, r.ring[r.start:]...)
+	out = append(out, r.ring[:r.start]...)
+	return out
+}
+
+// --- typed instrumentation helpers (all nil-safe) ---
+
+// CtxSwitch records a context switch on cpu from task prev (-1 = idle)
+// to task next, whose name is interned.
+func (r *Recorder) CtxSwitch(at sim.Time, cpu int, prev, next int, name string) {
+	if r == nil {
+		return
+	}
+	r.Emit(at, KindCtxSwitch, cpu, int64(prev), int64(next), r.Intern(name))
+}
+
+// IRQDeliver records the IO-APIC routing vector vec to cpu.
+func (r *Recorder) IRQDeliver(at sim.Time, cpu int, vec int) {
+	r.Emit(at, KindIRQDeliver, cpu, int64(vec), 0, 0)
+}
+
+// IRQEnter records a handler starting; kind is the apic delivery class.
+func (r *Recorder) IRQEnter(at sim.Time, cpu int, vec int, kind int) {
+	r.Emit(at, KindIRQEnter, cpu, int64(vec), int64(kind), 0)
+}
+
+// IRQExit records the matching handler completion.
+func (r *Recorder) IRQExit(at sim.Time, cpu int, vec int, kind int) {
+	r.Emit(at, KindIRQExit, cpu, int64(vec), int64(kind), 0)
+}
+
+// IPI records an inter-processor interrupt sent to cpu.
+func (r *Recorder) IPI(at sim.Time, cpu int, vec int) {
+	r.Emit(at, KindIPI, cpu, int64(vec), 0, 0)
+}
+
+// SoftirqEnter records a softirq handler starting on cpu.
+func (r *Recorder) SoftirqEnter(at sim.Time, cpu int, vec int) {
+	r.Emit(at, KindSoftirqEnter, cpu, int64(vec), 0, 0)
+}
+
+// SoftirqExit records the matching softirq completion.
+func (r *Recorder) SoftirqExit(at sim.Time, cpu int, vec int) {
+	r.Emit(at, KindSoftirqExit, cpu, int64(vec), 0, 0)
+}
+
+// NICDMA records a DMA transaction (rx = DMA write toward memory).
+func (r *Recorder) NICDMA(at sim.Time, nic int, rx bool, bytes int) {
+	dir := int64(1)
+	if rx {
+		dir = 0
+	}
+	r.Emit(at, KindNICDMA, -1, int64(nic), dir, int64(bytes))
+}
+
+// NICIRQ records a NIC queue raising its interrupt line.
+func (r *Recorder) NICIRQ(at sim.Time, nic, queue, vec int) {
+	r.Emit(at, KindNICIRQ, -1, int64(nic), int64(queue), int64(vec))
+}
+
+// NICCoalesce records an interrupt deferred by the coalescing window.
+func (r *Recorder) NICCoalesce(at sim.Time, nic, queue int, deferCycles uint64) {
+	r.Emit(at, KindNICCoalesce, -1, int64(nic), int64(queue), int64(deferCycles))
+}
+
+// SockBlock records a process blocking on a socket.
+func (r *Recorder) SockBlock(at sim.Time, cpu int, conn int, reason string) {
+	if r == nil {
+		return
+	}
+	r.Emit(at, KindSockBlock, cpu, int64(conn), r.Intern(reason), 0)
+}
+
+// SockWake records a socket waking woken sleepers.
+func (r *Recorder) SockWake(at sim.Time, cpu int, conn int, reason string, woken int) {
+	if r == nil {
+		return
+	}
+	r.Emit(at, KindSockWake, cpu, int64(conn), r.Intern(reason), int64(woken))
+}
+
+// LockSpin records a contended spinlock acquisition (at grant time).
+func (r *Recorder) LockSpin(at sim.Time, cpu int, name string, spun uint64) {
+	if r == nil {
+		return
+	}
+	r.Emit(at, KindLockSpin, cpu, r.Intern(name), int64(spun), 0)
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	// Every instrumentation entry point must be a no-op on nil.
+	r.Emit(1, KindIPI, 0, 0, 0, 0)
+	r.CtxSwitch(1, 0, -1, 2, "ttcp0")
+	r.IRQDeliver(1, 0, 0x19)
+	r.IRQEnter(1, 0, 0x19, 0)
+	r.IRQExit(2, 0, 0x19, 0)
+	r.IPI(1, 1, 0xfd)
+	r.SoftirqEnter(1, 0, 2)
+	r.SoftirqExit(2, 0, 2)
+	r.NICDMA(1, 0, true, 1460)
+	r.NICIRQ(1, 0, 0, 0x19)
+	r.NICCoalesce(1, 0, 0, 2000)
+	r.SockBlock(1, 0, 3, "sndbuf")
+	r.SockWake(2, 0, 3, "sndbuf", 1)
+	r.LockSpin(3, 0, "sk0", 400)
+	if got := r.Intern("x"); got != 0 {
+		t.Fatalf("nil Intern = %d, want 0", got)
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Records() != nil || r.Str(0) != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestRecorderOrderAndIntern(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8})
+	r.IRQEnter(10, 0, 0x19, 0)
+	r.IRQExit(20, 0, 0x19, 0)
+	r.SockBlock(30, 1, 3, "rcvbuf")
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatalf("records out of order: %v", recs)
+		}
+	}
+	if got := r.Str(recs[2].Arg1); got != "rcvbuf" {
+		t.Fatalf("interned reason = %q, want rcvbuf", got)
+	}
+	if a, b := r.Intern("rcvbuf"), r.Intern("rcvbuf"); a != b {
+		t.Fatalf("re-interning changed id: %d vs %d", a, b)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		r.IPI(sim.Time(i), 0, 0xfd)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		if want := sim.Time(6 + i); rec.At != want {
+			t.Fatalf("record %d at %d, want %d", i, rec.At, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "?") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+// chromeDoc is the trace-event JSON shape Perfetto and chrome://tracing
+// accept: a traceEvents array of events with phase/pid/tid/ts fields.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Name string          `json:"name"`
+	Args json.RawMessage `json:"args"`
+}
+
+func populatedRecorder() *Recorder {
+	r := NewRecorder(Config{Capacity: 64})
+	r.CtxSwitch(100, 0, -1, 1, "ttcp0")
+	r.NICIRQ(150, 2, 0, 0x1b)
+	r.IRQDeliver(160, 0, 0x1b)
+	r.IRQEnter(200, 0, 0x1b, 0)
+	r.IRQExit(900, 0, 0x1b, 0)
+	r.SoftirqEnter(1000, 0, 2)
+	r.NICDMA(1100, 2, true, 1460)
+	r.SoftirqExit(1500, 0, 2)
+	r.IPI(1600, 1, 0xfd)
+	r.NICCoalesce(1700, 2, 0, 2000)
+	r.SockBlock(1800, 1, 3, "sndbuf")
+	r.SockWake(1900, 0, 3, "sndbuf", 1)
+	r.LockSpin(2500, 1, "sk3", 400)
+	return r
+}
+
+// TestWriteChromeValidSchema asserts the exported JSON parses and is
+// structurally valid trace-event data: every event has a known phase,
+// non-metadata events have timestamps, B/E pairs balance per track, and
+// complete events carry durations.
+func TestWriteChromeValidSchema(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, populatedRecorder(), 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	depth := map[[2]int]int{}
+	sawCPUTrack, sawNICTrack := false, false
+	lastTs := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case phaseMeta:
+			if ev.Name == "process_name" {
+				switch ev.Pid {
+				case pidCPU:
+					sawCPUTrack = true
+				case pidNIC:
+					sawNICTrack = true
+				}
+			}
+			continue
+		case phaseBegin:
+			depth[[2]int{ev.Pid, ev.Tid}]++
+		case phaseEnd:
+			key := [2]int{ev.Pid, ev.Tid}
+			depth[key]--
+			if depth[key] < 0 {
+				t.Fatalf("unbalanced E event on pid %d tid %d", ev.Pid, ev.Tid)
+			}
+		case phaseComplete:
+			if ev.Dur == nil {
+				t.Fatalf("X event %q missing dur", ev.Name)
+			}
+		case phaseInstant:
+		default:
+			t.Fatalf("unknown phase %q", ev.Ph)
+		}
+		if ev.Ts == nil {
+			t.Fatalf("event %q missing ts", ev.Name)
+		}
+		if ev.Name == "" {
+			t.Fatal("event missing name")
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if *ev.Ts < lastTs[key] && ev.Ph != phaseComplete {
+			t.Fatalf("timestamps regress on pid %d tid %d: %f after %f",
+				ev.Pid, ev.Tid, *ev.Ts, lastTs[key])
+		}
+		if *ev.Ts > lastTs[key] {
+			lastTs[key] = *ev.Ts
+		}
+	}
+	for key, d := range depth {
+		if d != 0 {
+			t.Fatalf("pid %d tid %d left %d spans open", key[0], key[1], d)
+		}
+	}
+	if !sawCPUTrack || !sawNICTrack {
+		t.Fatalf("missing track metadata: cpu=%v nic=%v", sawCPUTrack, sawNICTrack)
+	}
+}
+
+// TestWriteChromeSkipsOrphanEnds proves a ring that wrapped mid-span
+// (its B overwritten) never emits the stray E.
+func TestWriteChromeSkipsOrphanEnds(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	r.IRQEnter(10, 0, 0x19, 0) // will be overwritten
+	r.IPI(20, 0, 0xfd)
+	r.IPI(30, 0, 0xfd)
+	r.IPI(40, 0, 0xfd)
+	r.IPI(50, 0, 0xfd) // wraps the ring, dropping the IRQEnter
+	r.IRQExit(60, 0, 0x19, 0)
+	var b strings.Builder
+	if err := WriteChrome(&b, r, 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == phaseEnd {
+			t.Fatalf("orphan E event exported: %+v", ev)
+		}
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteChrome(&a, populatedRecorder(), 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, populatedRecorder(), 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two exports of equal recorders differ")
+	}
+}
+
+func TestWriteTextCoversEveryKind(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, populatedRecorder(), 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for k := Kind(0); k < numKinds; k++ {
+		if !strings.Contains(out, k.String()) {
+			t.Fatalf("text dump missing kind %s:\n%s", k, out)
+		}
+	}
+	if !strings.Contains(out, "conn3 sndbuf") || !strings.Contains(out, "sk3 spun=400cy") {
+		t.Fatalf("text dump lost interned strings:\n%s", out)
+	}
+}
