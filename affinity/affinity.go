@@ -29,9 +29,11 @@ package affinity
 import (
 	"io"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/ttcp"
@@ -135,6 +137,18 @@ func PaperTopology() Topology { return topo.Paper() }
 
 // PolicyForMode maps an affinity mode to its placement policy.
 func PolicyForMode(m Mode) PlacementPolicy { return core.PolicyForMode(m) }
+
+// ParseMode resolves an affinity mode from its common spellings (none,
+// proc, irq, full, partition and aliases), case-insensitively.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// ParseDirection resolves a transfer direction from its common spellings
+// (tx/send/transmit, rx/recv/receive), case-insensitively.
+func ParseDirection(s string) (Direction, error) { return core.ParseDirection(s) }
+
+// ParsePolicy resolves a built-in placement policy from its name or a
+// common alias (proc, int, part, ...), case-insensitively.
+func ParsePolicy(s string) (PlacementPolicy, error) { return core.ParsePolicy(s) }
 
 // PolicyByName resolves a built-in placement policy from its name:
 // none, process, irq, full, partition, rotate or rss.
@@ -243,6 +257,55 @@ func PerCPUBinTables(r *Result) []BinTable {
 func FormatTopSymbols(rows [][]prof.SymbolCount) string {
 	return prof.FormatTopSymbols(rows, perf.MachineClears)
 }
+
+// --- result cache and HTTP service ---
+
+// Cache is the content-addressed result cache: identical Configs
+// fingerprint to the same key, concurrent identical requests coalesce
+// onto one simulation, and results optionally persist on disk across
+// processes. See NewCache.
+type Cache = cache.Cache
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats = cache.Stats
+
+// CacheDirEnv names the environment variable consulted for the default
+// on-disk store location.
+const CacheDirEnv = cache.DirEnv
+
+// DefaultCacheBytes is the default in-memory cache bound (256 MiB).
+const DefaultCacheBytes = cache.DefaultMaxBytes
+
+// NewCache builds a result cache bounded to maxBytes resident bytes
+// (<=0 disables the bound). A non-empty dir adds a persistent on-disk
+// store under that directory.
+func NewCache(maxBytes int64, dir string) *Cache { return cache.New(maxBytes, dir) }
+
+// Fingerprint returns the canonical content hash of a configuration —
+// the cache key. Two configs with equal fingerprints produce identical
+// Results.
+func Fingerprint(cfg Config) string { return cache.Fingerprint(cfg) }
+
+// Cacheable reports whether a config's result can be cached; runs that
+// collect per-run artifacts (timeline traces, gauge series) cannot.
+func Cacheable(cfg Config) bool { return cache.Cacheable(cfg) }
+
+// UseCache routes a runner's simulations through a cache; pass nil to
+// restore direct execution. The substitution is result-transparent:
+// cached results are bit-identical to fresh ones.
+func UseCache(r *Runner, c *Cache) *Runner { return r.Use(c.RunFunc()) }
+
+// Server is the simulator's HTTP face: POST /v1/run, POST /v1/sweep
+// (NDJSON stream), GET /v1/verify, GET /healthz and GET /metrics, in
+// front of a Cache and a Runner. See NewServer.
+type Server = serve.Server
+
+// ServerOptions configures NewServer; the zero value serves with a
+// default runner, a fresh in-memory cache and sensible limits.
+type ServerOptions = serve.Options
+
+// NewServer builds the HTTP handler; mount it on any http.Server.
+func NewServer(opts ServerOptions) *Server { return serve.New(opts) }
 
 // --- timeline tracing ---
 

@@ -11,18 +11,29 @@
 //	-quick             shorter measurement windows (faster, noisier)
 //	-csv               also emit CSV for the sweep figures
 //	-seed  n           simulation seed
+//	-modes a,b,...     modes for the sweep figures (default the paper's four)
 //	-workers n         parallel simulation workers (0 = GOMAXPROCS, 1 = serial)
+//	-cache             reuse cached results across tables (in-memory)
+//	-cache-dir path    persistent result cache (default $AFFINITY_CACHE_DIR)
+//	-cache-bytes n     in-memory cache bound (default 256 MiB)
+//	-version           print the build version and exit
 //
 // Independent simulation cells run concurrently across -workers
 // goroutines; because every cell is a single-threaded seeded simulation,
-// the output is byte-identical to a serial (-workers 1) run.
+// the output is byte-identical to a serial (-workers 1) run. With the
+// cache enabled, cells shared between tables (and with previous runs,
+// when -cache-dir is set) are simulated once and replayed bit-identically
+// thereafter — the rendered output never changes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/affinity"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 )
 
@@ -36,9 +47,28 @@ func main() {
 	seeds := flag.Int("seeds", 1, "seeds per cell for the headline summary (mean ± stdev)")
 	verify := flag.Bool("verify", false, "score every reproduction claim (executable EXPERIMENTS.md)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	modesFlag := flag.String("modes", "", "comma-separated modes for the sweep figures (default the paper's four)")
+	useCache := flag.Bool("cache", false, "reuse cached results across tables (in-memory)")
+	cacheDir := flag.String("cache-dir", os.Getenv(affinity.CacheDirEnv), "persistent result cache directory (implies -cache)")
+	cacheBytes := flag.Int64("cache-bytes", affinity.DefaultCacheBytes, "in-memory cache byte bound (<=0 = unbounded)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *version {
+		buildinfo.Print("affinity-figures")
+		return
+	}
+
+	modes, err := parseModes(*modesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-figures:", err)
+		os.Exit(2)
+	}
+
 	runner := affinity.NewRunner(*workers)
+	if *useCache || *cacheDir != "" {
+		affinity.UseCache(runner, affinity.NewCache(*cacheBytes, *cacheDir))
+	}
 
 	if *verify {
 		cfgFor := func(m affinity.Mode, d affinity.Direction, size int) affinity.Config {
@@ -56,7 +86,7 @@ func main() {
 	if *fig == 0 && *table == 0 {
 		*all = true
 	}
-	g := generator{quick: *quick, seed: *seed, csv: *csv, runner: runner}
+	g := generator{quick: *quick, seed: *seed, csv: *csv, runner: runner, modes: modes}
 
 	if *seeds > 1 {
 		g.headline(*seeds)
@@ -86,9 +116,27 @@ type generator struct {
 	seed   uint64
 	csv    bool
 	runner *affinity.Runner
+	modes  []affinity.Mode
 
 	// memoized extreme-point runs shared by tables 1-5 and figure 5
 	runs map[string]*affinity.Result
+}
+
+// parseModes resolves a comma-separated -modes list; empty selects the
+// paper's four modes.
+func parseModes(s string) ([]affinity.Mode, error) {
+	if strings.TrimSpace(s) == "" {
+		return affinity.Modes(), nil
+	}
+	var modes []affinity.Mode
+	for _, name := range strings.Split(s, ",") {
+		m, err := affinity.ParseMode(name)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
 }
 
 // cell identifies one memoized run.
@@ -159,7 +207,7 @@ func extremeCells() []cell {
 // seeds, quantifying run-to-run variance.
 func (g *generator) headline(seeds int) {
 	fmt.Printf("=== Headline (TX 64KB) over %d seeds ===\n", seeds)
-	for _, mode := range affinity.Modes() {
+	for _, mode := range g.modes {
 		agg := g.runner.RunSeeds(g.base(mode, affinity.TX, 65536), seeds)
 		fmt.Println(agg)
 	}
@@ -168,7 +216,7 @@ func (g *generator) headline(seeds int) {
 
 func (g *generator) sweepFigures(want3, want4 bool) {
 	for _, dir := range []affinity.Direction{affinity.TX, affinity.RX} {
-		sw := g.runner.RunSweep(g.base(affinity.ModeNone, dir, 128), dir, affinity.Sizes(), affinity.Modes())
+		sw := g.runner.RunSweep(g.base(affinity.ModeNone, dir, 128), dir, affinity.Sizes(), g.modes)
 		if want3 {
 			fmt.Println("=== Figure 3:", dir, "bandwidth and CPU utilization ===")
 			fmt.Print(sw.FormatFig3())

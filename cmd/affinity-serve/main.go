@@ -1,0 +1,111 @@
+// Command affinity-serve hosts the simulator as an HTTP service: a thin
+// stateless JSON API in front of the content-addressed result cache and
+// the parallel experiment runner.
+//
+// Usage:
+//
+//	affinity-serve [flags]
+//
+//	-addr host:port      listen address (default :8080)
+//	-workers n           simulation workers per sweep (0 = GOMAXPROCS)
+//	-max-inflight n      concurrent simulating requests (0 = 2×workers)
+//	-timeout d           per-request timeout (default 5m)
+//	-cache-bytes n       in-memory result-cache bound (default 256 MiB)
+//	-cache-dir path      on-disk result store (default $AFFINITY_CACHE_DIR)
+//	-drain d             shutdown drain budget after SIGINT/SIGTERM (default 30s)
+//	-version             print the build version and exit
+//
+// Endpoints: POST /v1/run, POST /v1/sweep (NDJSON stream), GET
+// /v1/verify, GET /healthz, GET /metrics (Prometheus text). See
+// internal/serve for request schemas; the README's "Serving the
+// simulator" section has a curl walkthrough.
+//
+// On SIGINT/SIGTERM the listener closes immediately and in-flight
+// requests get the drain budget to finish before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers per sweep (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent simulating requests (0 = 2×workers)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	cacheBytes := flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory result-cache byte bound (<=0 = unbounded)")
+	cacheDir := flag.String("cache-dir", os.Getenv(cache.DirEnv), "on-disk result store directory (empty = memory only)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	version := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print("affinity-serve")
+		return
+	}
+
+	c := cache.New(*cacheBytes, *cacheDir)
+	srv := serve.New(serve.Options{
+		Runner:      core.NewRunner(*workers),
+		Cache:       c,
+		MaxInflight: *maxInflight,
+		Timeout:     *timeout,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "affinity-serve %s listening on %s (workers=%d, cache=%s)\n",
+		buildinfo.Version(), *addr, serveWorkers(*workers), cacheLabel(*cacheDir))
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "affinity-serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "affinity-serve: draining (up to %s)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-serve: drain incomplete:", err)
+			os.Exit(1)
+		}
+	}
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "affinity-serve: done (sims=%d, hits=%d, coalesced=%d, disk hits=%d, hit ratio %.2f)\n",
+		st.Sims, st.Hits, st.Coalesced, st.DiskHits, st.HitRatio())
+}
+
+func serveWorkers(n int) int {
+	if n <= 0 {
+		return core.DefaultWorkers()
+	}
+	return n
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "memory+" + dir
+}

@@ -42,9 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/affinity"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -71,16 +71,22 @@ func main() {
 	traceText := flag.String("trace-text", "", "write a plain-text timeline dump to this file")
 	timeseries := flag.String("timeseries", "", "write a gauge time-series CSV to this file")
 	gaugeCycles := flag.Uint64("gauge-cycles", 2_000_000, "gauge sampling period in cycles (with -timeseries)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
-	mode, err := parseMode(*modeFlag)
+	if *version {
+		buildinfo.Print("affinity-sim")
+		return
+	}
+
+	mode, err := affinity.ParseMode(*modeFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "affinity-sim:", err)
 		os.Exit(2)
 	}
-	dir, err := parseDir(*dirFlag)
+	dir, err := affinity.ParseDirection(*dirFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "affinity-sim:", err)
 		os.Exit(2)
 	}
 	if *size <= 0 {
@@ -98,7 +104,7 @@ func main() {
 		cfg.Topology = &t
 	}
 	if *policyFlag != "" {
-		pol, err := affinity.PolicyByName(*policyFlag)
+		pol, err := affinity.ParsePolicy(*policyFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
 			os.Exit(2)
@@ -202,30 +208,4 @@ func main() {
 			fmt.Print(tab.Format())
 		}
 	}
-}
-
-func parseMode(s string) (affinity.Mode, error) {
-	switch strings.ToLower(s) {
-	case "none", "no", "noaff":
-		return affinity.ModeNone, nil
-	case "proc", "process":
-		return affinity.ModeProc, nil
-	case "irq", "int", "interrupt":
-		return affinity.ModeIRQ, nil
-	case "full":
-		return affinity.ModeFull, nil
-	case "partition", "part":
-		return affinity.ModePartition, nil
-	}
-	return 0, fmt.Errorf("affinity-sim: unknown mode %q (none|proc|irq|full|partition)", s)
-}
-
-func parseDir(s string) (affinity.Direction, error) {
-	switch strings.ToLower(s) {
-	case "tx", "send", "transmit":
-		return affinity.TX, nil
-	case "rx", "recv", "receive":
-		return affinity.RX, nil
-	}
-	return 0, fmt.Errorf("affinity-sim: unknown direction %q (tx|rx)", s)
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/affinity"
+	"repro/internal/buildinfo"
 	"repro/internal/sim"
 )
 
@@ -28,7 +29,13 @@ func main() {
 	seconds := flag.Float64("secs", 0.12, "measured virtual seconds")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	latency := flag.Bool("latency", false, "report per-call latency percentiles")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print("ttcp-sim")
+		return
+	}
 
 	dir := affinity.TX
 	switch {
@@ -39,18 +46,9 @@ func main() {
 		dir = affinity.RX
 	}
 
-	var mode affinity.Mode
-	switch *modeFlag {
-	case "none":
-		mode = affinity.ModeNone
-	case "proc":
-		mode = affinity.ModeProc
-	case "irq":
-		mode = affinity.ModeIRQ
-	case "full":
-		mode = affinity.ModeFull
-	default:
-		fmt.Fprintf(os.Stderr, "ttcp-sim: unknown mode %q\n", *modeFlag)
+	mode, err := affinity.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcp-sim:", err)
 		os.Exit(2)
 	}
 

@@ -31,7 +31,7 @@ func main() {
 
 	var base float64
 	for _, mode := range affinity.Modes() {
-		mbps, reads, writes := runTarget(mode)
+		mbps, reads, writes := runTarget(mode, 0, 0)
 		fmt.Printf("%-9s %8.1f Mb/s total  (reads %7.1f, writes %7.1f)\n",
 			mode, mbps, reads, writes)
 		if mode == affinity.ModeNone {
@@ -48,10 +48,17 @@ func main() {
 }
 
 // runTarget builds the mixed read/write target and returns total, read
-// and write goodput in Mb/s.
-func runTarget(mode affinity.Mode) (total, reads, writes float64) {
+// and write goodput in Mb/s. Zero warmup/measure select the paper's
+// default windows; tests pass shorter ones.
+func runTarget(mode affinity.Mode, warmup, measure uint64) (total, reads, writes float64) {
 	cfg := affinity.DefaultConfig(mode, affinity.TX, pduBytes)
 	cfg.SkipWorkload = true
+	if warmup != 0 {
+		cfg.WarmupCycles = warmup
+	}
+	if measure != 0 {
+		cfg.MeasureCycles = measure
+	}
 	m := affinity.NewMachine(cfg)
 	defer m.Shutdown()
 

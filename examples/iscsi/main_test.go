@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/affinity"
+)
+
+// TestAffinityOrdering smoke-tests the storage workload at short
+// windows: full affinity must move at least as much data as interrupt
+// affinity, which must beat no affinity — the projection the paper's
+// §8 conclusion claims for iSCSI/TCP.
+func TestAffinityOrdering(t *testing.T) {
+	const (
+		warmup  = 20_000_000
+		measure = 60_000_000
+	)
+	total := map[affinity.Mode]float64{}
+	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeIRQ, affinity.ModeFull} {
+		mbps, reads, writes := runTarget(mode, warmup, measure)
+		if mbps <= 0 || reads <= 0 || writes <= 0 {
+			t.Fatalf("%s: degenerate throughput (total %.1f, reads %.1f, writes %.1f)",
+				mode, mbps, reads, writes)
+		}
+		total[mode] = mbps
+	}
+	if total[affinity.ModeFull] < total[affinity.ModeIRQ] {
+		t.Errorf("full affinity (%.1f Mb/s) below irq affinity (%.1f Mb/s)",
+			total[affinity.ModeFull], total[affinity.ModeIRQ])
+	}
+	if total[affinity.ModeIRQ] < total[affinity.ModeNone] {
+		t.Errorf("irq affinity (%.1f Mb/s) below no affinity (%.1f Mb/s)",
+			total[affinity.ModeIRQ], total[affinity.ModeNone])
+	}
+}

@@ -34,7 +34,7 @@ func main() {
 	fmt.Println()
 	var base *affinity.Result
 	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
-		r := runWebServer(mode)
+		r := runWebServer(mode, 0, 0)
 		fmt.Printf("%-9s %8.1f Mb/s responses  util=%.0f%%/%.0f%%  cost=%.2f GHz/Gbps\n",
 			mode, r.Mbps, 100*r.Util[0], 100*r.Util[1], r.CostGHzPerGbps)
 		if mode == affinity.ModeNone {
@@ -46,9 +46,18 @@ func main() {
 	}
 }
 
-func runWebServer(mode affinity.Mode) *affinity.Result {
+// runWebServer measures the web workload under one affinity mode.
+// Zero warmup/measure select the paper's default windows; tests pass
+// shorter ones.
+func runWebServer(mode affinity.Mode, warmup, measure uint64) *affinity.Result {
 	cfg := affinity.DefaultConfig(mode, affinity.TX, 65536)
 	cfg.SkipWorkload = true
+	if warmup != 0 {
+		cfg.WarmupCycles = warmup
+	}
+	if measure != 0 {
+		cfg.MeasureCycles = measure
+	}
 	m := affinity.NewMachine(cfg)
 	defer m.Shutdown()
 

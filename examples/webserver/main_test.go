@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"repro/affinity"
+)
+
+// TestAffinityOrdering smoke-tests the workload at short windows: the
+// paper's headline ordering — full affinity beats interrupt affinity
+// beats no affinity — must project onto the web-server workload too.
+func TestAffinityOrdering(t *testing.T) {
+	const (
+		warmup  = 20_000_000
+		measure = 60_000_000
+	)
+	mbps := map[affinity.Mode]float64{}
+	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeIRQ, affinity.ModeFull} {
+		r := runWebServer(mode, warmup, measure)
+		if r.Mbps <= 0 {
+			t.Fatalf("%s: no throughput measured", mode)
+		}
+		mbps[mode] = r.Mbps
+	}
+	if mbps[affinity.ModeFull] < mbps[affinity.ModeIRQ] {
+		t.Errorf("full affinity (%.1f Mb/s) below irq affinity (%.1f Mb/s)",
+			mbps[affinity.ModeFull], mbps[affinity.ModeIRQ])
+	}
+	if mbps[affinity.ModeIRQ] < mbps[affinity.ModeNone] {
+		t.Errorf("irq affinity (%.1f Mb/s) below no affinity (%.1f Mb/s)",
+			mbps[affinity.ModeIRQ], mbps[affinity.ModeNone])
+	}
+}

@@ -1,0 +1,49 @@
+// Package buildinfo resolves a human-readable version for the binaries
+// from the Go build metadata, so `-version` flags and the serving
+// daemon's /healthz can identify the exact build — which is what lets
+// operators decide when a shared result-cache directory must be
+// discarded across deployments.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version reports the module version when built from a tagged module, or
+// the VCS revision (plus a -dirty suffix for modified trees) when built
+// from a checkout, falling back to "devel" when neither is stamped.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}
+
+// Print writes the standard one-line version banner for cmd binaries.
+func Print(cmd string) {
+	fmt.Printf("%s %s (%s)\n", cmd, Version(), runtime.Version())
+}

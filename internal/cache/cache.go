@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// DirEnv names the environment variable selecting the on-disk store
+// directory. Empty or unset keeps the cache memory-only.
+const DirEnv = "AFFINITY_CACHE_DIR"
+
+// DefaultMaxBytes is the in-memory bound used by the serving daemon and
+// figure generator when none is given: roomy enough for thousands of
+// entries (one paper-shape Result is a few tens of KiB) without
+// threatening a build host.
+const DefaultMaxBytes = 256 << 20
+
+// Cache memoizes simulation Results keyed by config Fingerprint. It is
+// safe for concurrent use. Layers, checked in order:
+//
+//  1. a byte-bounded in-memory LRU,
+//  2. singleflight: concurrent requests for the same fingerprint wait
+//     for one leader instead of simulating redundantly,
+//  3. an optional on-disk store (gob, atomic write-rename), surviving
+//     process restarts,
+//  4. the simulation itself.
+//
+// A nil *Cache is the disabled state: GetOrRun degenerates to calling
+// the run function directly.
+type Cache struct {
+	maxBytes int64
+	dir      string
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	flight map[string]*flightCall
+	bytes  int64
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	coalesced  atomic.Uint64
+	diskHits   atomic.Uint64
+	evictions  atomic.Uint64
+	sims       atomic.Uint64
+	diskErrors atomic.Uint64
+	inflight   atomic.Int64
+}
+
+type entry struct {
+	key  string
+	res  *core.Result
+	size int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result // set before done is closed; nil if the leader panicked
+}
+
+// New builds a cache bounded to maxBytes of in-memory results
+// (maxBytes <= 0 means unbounded) with an optional disk store rooted at
+// dir ("" disables persistence; the directory is created on first write).
+func New(maxBytes int64, dir string) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		dir:      dir,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
+	}
+}
+
+// Run is GetOrRun over the canonical core.Run.
+func (c *Cache) Run(cfg core.Config) *core.Result { return c.GetOrRun(cfg, core.Run) }
+
+// RunFunc adapts the cache to the runner's cell-executor slot:
+// runner.Use(c.RunFunc()) makes every cell the runner executes
+// cache-aware.
+func (c *Cache) RunFunc() core.RunFunc { return c.Run }
+
+// GetOrRun returns the Result for cfg, simulating via run at most once
+// per fingerprint no matter how many goroutines ask concurrently.
+// Uncacheable configs (see Cacheable) and a nil receiver pass straight
+// through to run.
+func (c *Cache) GetOrRun(cfg core.Config, run core.RunFunc) *core.Result {
+	if run == nil {
+		run = core.Run
+	}
+	if c == nil || !Cacheable(cfg) {
+		return run(cfg)
+	}
+	key := Fingerprint(cfg)
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok {
+			c.ll.MoveToFront(el)
+			res := el.Value.(*entry).res
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return res
+		}
+		if fl, ok := c.flight[key]; ok {
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			<-fl.done
+			if fl.res != nil {
+				return fl.res
+			}
+			// The leader panicked; loop and contend for leadership so
+			// the failure propagates here too instead of hanging.
+			continue
+		}
+		fl := &flightCall{done: make(chan struct{})}
+		c.flight[key] = fl
+		c.mu.Unlock()
+		return c.lead(key, cfg, run, fl)
+	}
+}
+
+// lead performs the non-deduplicated path: disk lookup, then simulation,
+// then population of both stores, releasing singleflight waiters on the
+// way out (including on panic).
+func (c *Cache) lead(key string, cfg core.Config, run core.RunFunc, fl *flightCall) *core.Result {
+	defer func() {
+		c.mu.Lock()
+		delete(c.flight, key)
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	c.misses.Add(1)
+	res, ok := c.loadDisk(key, cfg)
+	if ok {
+		c.diskHits.Add(1)
+	} else {
+		c.sims.Add(1)
+		c.inflight.Add(1)
+		res = run(cfg)
+		c.inflight.Add(-1)
+		c.storeDisk(key, res)
+	}
+	c.insert(key, res)
+	fl.res = res
+	return res
+}
+
+// insert adds a result to the LRU, evicting from the cold end until the
+// byte bound holds again. A single result larger than the whole bound is
+// not admitted (it would only evict everything else for one entry).
+func (c *Cache) insert(key string, res *core.Result) {
+	size := resultBytes(res)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return // a racing leader of an earlier generation already did
+	}
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, res: res, size: size})
+	c.bytes += size
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		cold := c.ll.Back()
+		e := cold.Value.(*entry)
+		c.ll.Remove(cold)
+		delete(c.byKey, e.key)
+		c.bytes -= e.size
+		c.evictions.Add(1)
+	}
+}
+
+// resultBytes estimates the resident size of one cached Result: the
+// counter matrix dominates (symbols × CPUs × events × 8 bytes), plus the
+// symbol names and the per-CPU slices.
+func resultBytes(r *core.Result) int64 {
+	const fixed = 512 // struct headers, scalars, slice headers
+	size := int64(fixed)
+	size += int64(len(r.Util))*8 + int64(len(r.IdleCycles))*8
+	if r.Ctr != nil {
+		tab := r.Ctr.Table()
+		size += int64(tab.Len()) * int64(r.Ctr.CPUs()) * int64(perf.NumEvents) * 8
+		for _, s := range tab.Symbols() {
+			size += int64(len(tab.Name(s))) + 32
+		}
+	}
+	return size
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Entries and Bytes describe the in-memory LRU right now; MaxBytes
+	// is its configured bound (0 = unbounded).
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	// Hits are in-memory LRU hits; Coalesced are requests that waited on
+	// an identical in-flight computation instead of simulating; DiskHits
+	// are misses served from the on-disk store; Sims are actual
+	// simulations executed; Misses = DiskHits + Sims.
+	Hits, Misses, Coalesced, DiskHits, Sims uint64
+	// Evictions counts LRU entries dropped to hold the byte bound.
+	Evictions uint64
+	// DiskErrors counts failed best-effort disk reads/writes.
+	DiskErrors uint64
+	// Inflight is the number of simulations executing right now.
+	Inflight int64
+	// Dir is the disk store root ("" = memory only).
+	Dir string
+}
+
+// Stats snapshots the counters; nil-safe.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Entries:    entries,
+		Bytes:      bytes,
+		MaxBytes:   c.maxBytes,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Coalesced:  c.coalesced.Load(),
+		DiskHits:   c.diskHits.Load(),
+		Sims:       c.sims.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskErrors: c.diskErrors.Load(),
+		Inflight:   c.inflight.Load(),
+		Dir:        c.dir,
+	}
+}
+
+// HitRatio is hits (memory + coalesced + disk) over total lookups, in
+// [0,1]; 0 when nothing has been asked yet.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced+s.DiskHits) / float64(total)
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// storedResult is the on-disk form of a Result. The Config is NOT
+// stored: the fingerprint already proves the reader's Config agrees on
+// every result-affecting field, so the caller's own Config is
+// reattached on load (this also sidesteps serializing the Policy
+// interface and Topology pointer). Trace and Series never appear here —
+// configs carrying them are uncacheable.
+type storedResult struct {
+	ElapsedCycles  uint64
+	Bytes          uint64
+	Transactions   uint64
+	Mbps           float64
+	Util           []float64
+	AvgUtil        float64
+	CostGHzPerGbps float64
+	Drops          uint64
+	IdleCycles     []uint64
+	Ctr            perf.CountersDump
+}
+
+// path maps a fingerprint to its file. Keys are hex SHA-256, so they are
+// filesystem-safe by construction.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".gob") }
+
+// loadDisk is a best-effort read of the persisted result for key; any
+// failure (missing file, truncated write from a crashed process,
+// malformed dump) reads as a miss.
+func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskErrors.Add(1)
+		}
+		return nil, false
+	}
+	defer f.Close()
+	var sr storedResult
+	if err := gob.NewDecoder(f).Decode(&sr); err != nil {
+		c.diskErrors.Add(1)
+		return nil, false
+	}
+	ctr, err := perf.CountersFromDump(sr.Ctr)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return nil, false
+	}
+	return &core.Result{
+		Cfg:            cfg,
+		ElapsedCycles:  sr.ElapsedCycles,
+		Bytes:          sr.Bytes,
+		Transactions:   sr.Transactions,
+		Mbps:           sr.Mbps,
+		Util:           sr.Util,
+		AvgUtil:        sr.AvgUtil,
+		CostGHzPerGbps: sr.CostGHzPerGbps,
+		Drops:          sr.Drops,
+		IdleCycles:     sr.IdleCycles,
+		Ctr:            ctr,
+	}, true
+}
+
+// storeDisk persists res under key via write-to-temp + rename, so
+// concurrent processes sharing the directory only ever observe complete
+// entries. Best effort: failures count in DiskErrors and the simulation
+// result is still served from memory.
+func (c *Cache) storeDisk(key string, res *core.Result) {
+	if c.dir == "" || res == nil || res.Ctr == nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	sr := storedResult{
+		ElapsedCycles:  res.ElapsedCycles,
+		Bytes:          res.Bytes,
+		Transactions:   res.Transactions,
+		Mbps:           res.Mbps,
+		Util:           res.Util,
+		AvgUtil:        res.AvgUtil,
+		CostGHzPerGbps: res.CostGHzPerGbps,
+		Drops:          res.Drops,
+		IdleCycles:     res.IdleCycles,
+		Ctr:            res.Ctr.Dump(),
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	if err := gob.NewEncoder(tmp).Encode(&sr); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+	}
+}

@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kern"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/ttcp"
+)
+
+// TestFingerprintCoversConfig fails when any configuration struct the
+// fingerprint walks grows a field that coveredFields does not list.
+// Adding a field to one of these types REQUIRES deciding how the cache
+// key treats it (hash it, resolve it through Topo()/PlanFor, or gate it
+// as uncacheable) and then recording it in coveredFields — otherwise two
+// configs differing only in the new field would silently share a cache
+// entry.
+func TestFingerprintCoversConfig(t *testing.T) {
+	types := map[string]reflect.Type{
+		"core.Config":   reflect.TypeOf(core.Config{}),
+		"cpu.Config":    reflect.TypeOf(cpu.Config{}),
+		"cpu.Penalties": reflect.TypeOf(cpu.Penalties{}),
+		"kern.Tuning":   reflect.TypeOf(kern.Tuning{}),
+		"tcp.Config":    reflect.TypeOf(tcp.Config{}),
+		"topo.Topology": reflect.TypeOf(topo.Topology{}),
+		"topo.NICShape": reflect.TypeOf(topo.NICShape{}),
+		"trace.Config":  reflect.TypeOf(trace.Config{}),
+		"topo.Plan":     reflect.TypeOf(topo.Plan{}),
+	}
+	for name, typ := range types {
+		covered, ok := coveredFields[name]
+		if !ok {
+			t.Errorf("%s: fingerprint walks this type but coveredFields has no entry", name)
+			continue
+		}
+		var actual []string
+		for i := 0; i < typ.NumField(); i++ {
+			actual = append(actual, typ.Field(i).Name)
+		}
+		want := append([]string(nil), covered...)
+		sort.Strings(actual)
+		sort.Strings(want)
+		if !reflect.DeepEqual(actual, want) {
+			t.Errorf("%s fields drifted from the fingerprint's covered set.\n  struct has: %v\n  covered:    %v\n"+
+				"Update Fingerprint (or Cacheable) to handle the new field, then list it in coveredFields.",
+				name, actual, want)
+		}
+	}
+	for name := range coveredFields {
+		if _, ok := types[name]; !ok {
+			t.Errorf("coveredFields lists %s but the test does not reflect over it; add it to the types map", name)
+		}
+	}
+}
+
+func fpCfg() core.Config {
+	return core.DefaultConfig(core.ModeNone, ttcp.TX, 65536)
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := Fingerprint(fpCfg())
+	if base != Fingerprint(fpCfg()) {
+		t.Fatal("fingerprint of identical configs differs")
+	}
+
+	mutations := map[string]func(*core.Config){
+		"Mode":          func(c *core.Config) { c.Mode = core.ModeFull },
+		"Dir":           func(c *core.Config) { c.Dir = ttcp.RX },
+		"Size":          func(c *core.Config) { c.Size = 128 },
+		"Seed":          func(c *core.Config) { c.Seed = 7 },
+		"WarmupCycles":  func(c *core.Config) { c.WarmupCycles = 1 },
+		"MeasureCycles": func(c *core.Config) { c.MeasureCycles = 1 },
+		"NumCPUs":       func(c *core.Config) { c.NumCPUs = 4 },
+		"NumNICs":       func(c *core.Config) { c.NumNICs = 4 },
+		"Policy":        func(c *core.Config) { c.Policy = topo.RSS{} },
+		"RotateIRQs":    func(c *core.Config) { c.RotateIRQs = true },
+		"SkipWorkload":  func(c *core.Config) { c.SkipWorkload = true },
+		"ThinkCycles":   func(c *core.Config) { c.ThinkCycles = 1000 },
+		"RecordLatency": func(c *core.Config) { c.RecordLatency = true },
+		"CPU.ClockHz":   func(c *core.Config) { c.CPU.ClockHz = 1_000_000_000 },
+		"CPU.Penalty":   func(c *core.Config) { c.CPU.Penalty.LLCMiss = 999 },
+		"Tune":          func(c *core.Config) { c.Tune.WakeAffinity = !c.Tune.WakeAffinity },
+		"TCP":           func(c *core.Config) { c.TCP.MSS = 576 },
+		"Topology": func(c *core.Config) {
+			topo := topo.Uniform(4, 2, 2)
+			c.Topology = &topo
+		},
+	}
+	for field, mutate := range mutations {
+		cfg := fpCfg()
+		mutate(&cfg)
+		if Fingerprint(cfg) == base {
+			t.Errorf("mutating %s did not change the fingerprint", field)
+		}
+	}
+}
+
+// TestFingerprintMergesEquivalentShapes pins the deliberate merges: a
+// flat NumCPUs×NumNICs shape and its explicit Topology equivalent, and a
+// Mode and its equivalent explicit Policy, simulate identically and
+// render identically, so they share one cache entry.
+func TestFingerprintMergesEquivalentShapes(t *testing.T) {
+	flat := fpCfg()
+	explicit := fpCfg()
+	shape := topo.Uniform(flat.NumCPUs, flat.NumNICs, 1)
+	explicit.Topology = &shape
+	if Fingerprint(flat) != Fingerprint(explicit) {
+		t.Error("equivalent flat and explicit topologies should fingerprint identically")
+	}
+
+	byMode := fpCfg()
+	byPolicy := fpCfg()
+	byPolicy.Policy = topo.None{} // what ModeNone resolves to
+	if Fingerprint(byMode) != Fingerprint(byPolicy) {
+		t.Error("a Mode and its equivalent explicit Policy should fingerprint identically")
+	}
+
+	// But a Mode whose *name* differs must not merge even if placement
+	// did: rendered output spells the mode.
+	otherMode := fpCfg()
+	otherMode.Mode = core.ModeProc
+	otherMode.Policy = topo.None{} // same placement as base... but
+	if Fingerprint(otherMode) == Fingerprint(byMode) {
+		t.Error("different Modes must fingerprint differently even under identical placement")
+	}
+}
+
+func TestCacheableGates(t *testing.T) {
+	if !Cacheable(fpCfg()) {
+		t.Error("plain config should be cacheable")
+	}
+	traced := fpCfg()
+	traced.Trace = &trace.Config{}
+	if Cacheable(traced) {
+		t.Error("traced runs carry a live recorder and must bypass the cache")
+	}
+	gauged := fpCfg()
+	gauged.GaugeCycles = 1_000_000
+	if Cacheable(gauged) {
+		t.Error("gauge-sampled runs carry a Series and must bypass the cache")
+	}
+}

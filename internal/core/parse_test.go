@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ttcp"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{
+		"none": ModeNone, "no": ModeNone, "noaff": ModeNone, "NONE": ModeNone,
+		"proc": ModeProc, "process": ModeProc,
+		"irq": ModeIRQ, "int": ModeIRQ, "interrupt": ModeIRQ,
+		"full": ModeFull, " full ": ModeFull,
+		"partition": ModePartition, "part": ModePartition,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode should reject unknown spellings")
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	cases := map[string]ttcp.Direction{
+		"tx": ttcp.TX, "send": ttcp.TX, "transmit": ttcp.TX, "TX": ttcp.TX,
+		"rx": ttcp.RX, "recv": ttcp.RX, "receive": ttcp.RX,
+	}
+	for in, want := range cases {
+		got, err := ParseDirection(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDirection(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDirection("sideways"); err == nil {
+		t.Error("ParseDirection should reject unknown spellings")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"none": "none", "process": "process", "proc": "process",
+		"irq": "irq", "int": "irq", "interrupt": "irq",
+		"full": "full", "partition": "partition", "part": "partition",
+		"rotate": "rotate", "rss": "rss", "RSS": "rss",
+	} {
+		pol, err := ParsePolicy(in)
+		if err != nil || pol.Name() != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want policy %q", in, pol, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy should reject unknown names")
+	}
+}

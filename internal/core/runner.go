@@ -26,6 +26,10 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// RunFunc executes one experiment cell. Run is the canonical
+// implementation; a cache layer substitutes a memoizing one.
+type RunFunc func(Config) *Result
+
 // Runner fans independent experiment cells out across a bounded pool of
 // goroutines and reassembles their results in deterministic input order.
 //
@@ -40,6 +44,11 @@ func DefaultWorkers() int {
 // via DefaultWorkers.
 type Runner struct {
 	workers int
+	// run, when set, replaces Run for every cell this runner executes
+	// (RunConfigs, RunSweep, RunSeeds, VerifyShapeWith). Because each
+	// cell is a pure function of its Config, substituting a memoizing
+	// RunFunc changes wall-clock time only, never results.
+	run atomic.Pointer[RunFunc]
 }
 
 // NewRunner returns a runner with the given worker bound. workers <= 0
@@ -62,6 +71,36 @@ func (r *Runner) Workers() int {
 	}
 	return r.workers
 }
+
+// Use installs run as this runner's cell executor (nil restores Run).
+// The replacement must be result-transparent — return exactly what Run
+// would for the same Config — which any Fingerprint-keyed cache of
+// deterministic runs is. Returns the runner for chaining.
+func (r *Runner) Use(run RunFunc) *Runner {
+	if run == nil {
+		r.run.Store(nil)
+	} else {
+		r.run.Store(&run)
+	}
+	return r
+}
+
+// runFunc resolves the cell executor: the installed RunFunc, or Run.
+func (r *Runner) runFunc() RunFunc {
+	if r == nil {
+		return Run
+	}
+	if f := r.run.Load(); f != nil {
+		return *f
+	}
+	return Run
+}
+
+// UseDefault installs run on the default runner backing the package-level
+// RunAll/RunSweep/RunSeeds/VerifyShape helpers (nil restores Run). This
+// is how a process-wide result cache makes every facade entry point
+// incremental.
+func UseDefault(run RunFunc) { defaultRunner.Use(run) }
 
 // Do executes job(i) for every i in [0, n), each exactly once, and
 // returns when all have completed. With more than one worker, jobs are
@@ -121,8 +160,9 @@ func (r *Runner) Do(n int, job func(i int)) {
 // RunConfigs runs every configuration and returns the results in input
 // order.
 func (r *Runner) RunConfigs(cfgs []Config) []*Result {
+	run := r.runFunc()
 	out := make([]*Result, len(cfgs))
-	r.Do(len(cfgs), func(i int) { out[i] = Run(cfgs[i]) })
+	r.Do(len(cfgs), func(i int) { out[i] = run(cfgs[i]) })
 	return out
 }
 

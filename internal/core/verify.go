@@ -12,10 +12,10 @@ import (
 // the simulator measured, and whether the measurement falls in the
 // acceptance band.
 type Check struct {
-	ID       string // e.g. "fig3.ordering"
-	Claim    string // the paper's statement
-	Measured string // what this run produced
-	Pass     bool
+	ID       string `json:"id"`       // e.g. "fig3.ordering"
+	Claim    string `json:"claim"`    // the paper's statement
+	Measured string `json:"measured"` // what this run produced
+	Pass     bool   `json:"pass"`
 }
 
 // VerifyShape runs the experiment suite and scores every reproduction
@@ -75,10 +75,11 @@ func VerifyShapeWith(r *Runner, cfgFor func(Mode, ttcp.Direction, int) Config) [
 	key := func(m Mode, d ttcp.Direction, size int) string {
 		return fmt.Sprintf("%v/%v/%d", m, d, size)
 	}
+	run := r.runFunc()
 	prefetched := make([]*Result, len(verifyPoints))
 	r.Do(len(verifyPoints), func(i int) {
 		p := verifyPoints[i]
-		prefetched[i] = Run(cfgFor(p.M, p.D, p.Size))
+		prefetched[i] = run(cfgFor(p.M, p.D, p.Size))
 	})
 	runs := map[string]*Result{}
 	for i, p := range verifyPoints {
@@ -95,7 +96,7 @@ func VerifyShapeWith(r *Runner, cfgFor func(Mode, ttcp.Direction, int) Config) [
 		if verifyMissHook != nil {
 			verifyMissHook(m, d, size)
 		}
-		res := Run(cfgFor(m, d, size))
+		res := run(cfgFor(m, d, size))
 		runs[k] = res
 		return res
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Simulations
+// span milliseconds (cached) to minutes (full paper windows), so the
+// buckets stretch accordingly.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 60, 120}
+
+// metrics is the server's hand-rolled Prometheus-text registry: request
+// counts by path and status, one overall latency histogram, and gauges
+// sampled at scrape time (cache counters, in-flight work). No external
+// client library — the text exposition format is trivially writable.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[[2]string]uint64 // {path, code} -> count
+	buckets  []uint64
+	count    uint64
+	sum      float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[[2]string]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(path string, code int, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[[2]string{path, fmt.Sprintf("%d", code)}]++
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			m.buckets[i]++
+		}
+	}
+	m.count++
+	m.sum += secs
+}
+
+// write renders the exposition text. gauges supplies point-in-time
+// values (cache stats, inflight counts) keyed by metric name, each with
+// a help string.
+func (m *metrics) write(w http.ResponseWriter, s *Server) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	m.mu.Lock()
+	fmt.Fprintf(&b, "# HELP affinity_requests_total HTTP requests served, by path and status code.\n")
+	fmt.Fprintf(&b, "# TYPE affinity_requests_total counter\n")
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "affinity_requests_total{path=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+	fmt.Fprintf(&b, "# HELP affinity_request_seconds Request latency.\n")
+	fmt.Fprintf(&b, "# TYPE affinity_request_seconds histogram\n")
+	for i, le := range latencyBuckets {
+		fmt.Fprintf(&b, "affinity_request_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", le), m.buckets[i])
+	}
+	fmt.Fprintf(&b, "affinity_request_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(&b, "affinity_request_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(&b, "affinity_request_seconds_count %d\n", m.count)
+	m.mu.Unlock()
+
+	cs := s.cache.Stats()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+	counter("affinity_cache_hits_total", "Result-cache in-memory hits.", cs.Hits)
+	counter("affinity_cache_coalesced_total", "Requests deduplicated onto an identical in-flight simulation (singleflight).", cs.Coalesced)
+	counter("affinity_cache_misses_total", "Result-cache misses (disk hits + simulations).", cs.Misses)
+	counter("affinity_cache_disk_hits_total", "Result-cache misses served from the on-disk store.", cs.DiskHits)
+	counter("affinity_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
+	counter("affinity_cache_disk_errors_total", "Best-effort disk store failures.", cs.DiskErrors)
+	counter("affinity_sims_total", "Simulations actually executed.", cs.Sims)
+	gauge("affinity_cache_entries", "Resident result-cache entries.", "%d", cs.Entries)
+	gauge("affinity_cache_bytes", "Resident result-cache bytes.", "%d", cs.Bytes)
+	gauge("affinity_cache_hit_ratio", "Served-without-simulating ratio over all lookups.", "%g", cs.HitRatio())
+	gauge("affinity_sims_inflight", "Simulations executing right now.", "%d", cs.Inflight)
+	gauge("affinity_requests_inflight", "Requests holding a concurrency-limiter slot.", "%d", int64(len(s.sem)))
+	gauge("affinity_request_limit", "Concurrency-limiter capacity.", "%d", int64(cap(s.sem)))
+	gauge("affinity_worker_pool_depth", "Simulation worker-pool bound per sweep.", "%d", int64(s.runner.Workers()))
+	fmt.Fprintf(&b, "# HELP affinity_build_info Build identity of the serving binary.\n# TYPE affinity_build_info gauge\naffinity_build_info{version=%q} 1\n", s.version)
+
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,512 @@
+// Package serve exposes the simulator as a stateless HTTP JSON API in
+// front of the cached, parallel core.Runner dataplane — the control/data
+// split of fine-grained dataplane systems (FlexTOE, NSDI 2022) applied
+// to simulation serving. Endpoints:
+//
+//	POST /v1/run     one simulation cell -> Result JSON
+//	POST /v1/sweep   a modes × sizes grid -> NDJSON stream, one cell per line
+//	GET  /v1/verify  the reproduction scorecard (EXPERIMENTS.md, executable)
+//	GET  /healthz    liveness + build version + cache stats
+//	GET  /metrics    Prometheus text exposition
+//
+// Every simulation is a pure function of its Config, so responses are
+// deterministic: a cached cell is byte-identical to a freshly simulated
+// one. Concurrency is bounded by a request limiter on top of the
+// runner's worker pool; identical concurrent requests collapse to one
+// simulation via the cache's singleflight.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/ttcp"
+)
+
+// Options configures a Server. The zero value is serviceable: default
+// runner, a DefaultMaxBytes in-memory cache, 2×workers request slots,
+// 5-minute request timeout.
+type Options struct {
+	// Runner executes sweep cells; nil selects a default-pool runner.
+	Runner *core.Runner
+	// Cache memoizes results; nil builds a DefaultMaxBytes in-memory
+	// cache (set AFFINITY_CACHE_DIR handling up in the caller and pass
+	// the cache in to persist across restarts).
+	Cache *cache.Cache
+	// Run executes one cell beneath the cache; nil selects core.Run.
+	// Tests substitute stubs here.
+	Run core.RunFunc
+	// MaxInflight bounds requests doing simulation work concurrently;
+	// further requests wait, and time out with 503 if no slot frees
+	// within the request timeout. 0 selects 2× the runner's workers.
+	MaxInflight int
+	// Timeout bounds each request end to end. 0 selects 5 minutes.
+	Timeout time.Duration
+	// Version reported by /healthz and /metrics; "" resolves from build
+	// info.
+	Version string
+}
+
+// Server is the HTTP face of the simulator.
+type Server struct {
+	runner  *core.Runner
+	cache   *cache.Cache
+	run     core.RunFunc // cache-wrapped cell executor
+	sem     chan struct{}
+	timeout time.Duration
+	version string
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New assembles a Server.
+func New(opts Options) *Server {
+	s := &Server{
+		runner:  opts.Runner,
+		cache:   opts.Cache,
+		timeout: opts.Timeout,
+		version: opts.Version,
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	if s.runner == nil {
+		s.runner = core.NewRunner(0)
+	}
+	if s.cache == nil {
+		s.cache = cache.New(cache.DefaultMaxBytes, "")
+	}
+	inner := opts.Run
+	if inner == nil {
+		inner = core.Run
+	}
+	s.run = func(cfg core.Config) *core.Result { return s.cache.GetOrRun(cfg, inner) }
+	s.runner.Use(s.run)
+	if s.timeout <= 0 {
+		s.timeout = 5 * time.Minute
+	}
+	if s.version == "" {
+		s.version = buildinfo.Version()
+	}
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = 2 * s.runner.Workers()
+	}
+	s.sem = make(chan struct{}, inflight)
+
+	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/verify", s.instrument("/v1/verify", s.handleVerify))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.write(w, s)
+	}))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache returns the server's result cache (for stats in callers).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// statusWriter captures the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with latency/status accounting and the
+// per-request timeout.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.observe(path, sw.code, time.Since(start))
+	}
+}
+
+// acquire takes a concurrency-limiter slot, or fails with 503 when none
+// frees before the request deadline. The returned release func is nil on
+// failure.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) func() {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	case <-r.Context().Done():
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "simulation capacity saturated")
+		return nil
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// RunRequest is the JSON body of POST /v1/run and the base of /v1/sweep.
+// Zero values select the paper's defaults. Mode, direction and policy
+// accept exactly the CLI's spellings (core.ParseMode and friends).
+type RunRequest struct {
+	Mode string `json:"mode"` // none|proc|irq|full|partition (default none)
+	Dir  string `json:"dir"`  // tx|rx (default tx)
+	Size int    `json:"size"` // transaction bytes (default 65536)
+	Seed uint64 `json:"seed"` // default 1
+
+	// Machine shape; defaults are the paper's 2P × 8 single-queue NICs.
+	CPUs   int `json:"cpus"`
+	NICs   int `json:"nics"`
+	Queues int `json:"queues"`
+	Conns  int `json:"conns"`
+
+	// Policy overrides the placement implied by Mode
+	// (none|process|irq|full|partition|rotate|rss).
+	Policy string `json:"policy"`
+
+	WarmupCycles  uint64 `json:"warmup_cycles"`
+	MeasureCycles uint64 `json:"measure_cycles"`
+	ThinkCycles   uint64 `json:"think_cycles"`
+	RotateIRQs    bool   `json:"rotate_irqs"`
+	// Quick selects the figure generator's -quick windows when explicit
+	// cycles are not given.
+	Quick bool `json:"quick"`
+}
+
+// config resolves the request into a validated core.Config.
+func (rq RunRequest) config() (core.Config, error) {
+	mode := core.ModeNone
+	if rq.Mode != "" {
+		m, err := core.ParseMode(rq.Mode)
+		if err != nil {
+			return core.Config{}, err
+		}
+		mode = m
+	}
+	dir := ttcp.TX
+	if rq.Dir != "" {
+		d, err := core.ParseDirection(rq.Dir)
+		if err != nil {
+			return core.Config{}, err
+		}
+		dir = d
+	}
+	size := rq.Size
+	if size == 0 {
+		size = 65536
+	}
+	if size < 0 {
+		return core.Config{}, fmt.Errorf("size must be positive, got %d", size)
+	}
+	cfg := core.DefaultConfig(mode, dir, size)
+	if rq.Seed != 0 {
+		cfg.Seed = rq.Seed
+	}
+	if rq.Quick {
+		cfg.WarmupCycles = 30_000_000
+		cfg.MeasureCycles = 100_000_000
+	}
+	if rq.WarmupCycles != 0 {
+		cfg.WarmupCycles = rq.WarmupCycles
+	}
+	if rq.MeasureCycles != 0 {
+		cfg.MeasureCycles = rq.MeasureCycles
+	}
+	cfg.ThinkCycles = rq.ThinkCycles
+	cfg.RotateIRQs = rq.RotateIRQs
+	cpus, nics, queues := 2, 8, 1
+	if rq.CPUs != 0 {
+		cpus = rq.CPUs
+	}
+	if rq.NICs != 0 {
+		nics = rq.NICs
+	}
+	if rq.Queues != 0 {
+		queues = rq.Queues
+	}
+	if cpus != 2 || nics != 8 || queues != 1 || rq.Conns != 0 {
+		shape := topo.Uniform(cpus, nics, queues)
+		shape.Conns = rq.Conns
+		cfg.Topology = &shape
+	}
+	if rq.Policy != "" {
+		pol, err := core.ParsePolicy(rq.Policy)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Policy = pol
+	}
+	// The only shape gate: impossible topologies surface here as 400s,
+	// not as mid-simulation panics.
+	if _, err := core.PlanFor(cfg); err != nil {
+		return core.Config{}, fmt.Errorf("impossible shape: %w", err)
+	}
+	return cfg, nil
+}
+
+// decode reads a strict JSON body (unknown fields are client errors).
+func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleRun simulates (or serves from cache) one cell.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var rq RunRequest
+	if !decode(w, r, &rq) {
+		return
+	}
+	cfg, err := rq.config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release := s.acquire(w, r)
+	if release == nil {
+		return
+	}
+	done := make(chan *core.Result, 1)
+	go func() {
+		defer release()
+		done <- s.run(cfg)
+	}()
+	select {
+	case res := <-done:
+		w.Header().Set("Content-Type", "application/json")
+		out, err := res.JSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding result: %v", err)
+			return
+		}
+		fmt.Fprintln(w, out)
+	case <-r.Context().Done():
+		// The simulation cannot be cancelled mid-run; it completes in the
+		// background and still populates the cache for the retry.
+		httpError(w, http.StatusServiceUnavailable, "request timed out; result will be cached for retry")
+	}
+}
+
+// SweepRequest is the JSON body of POST /v1/sweep: a base cell plus the
+// grid axes. Results stream back as NDJSON, one ResultExport per line,
+// in deterministic sizes-outer/modes-inner order (the figure order).
+type SweepRequest struct {
+	RunRequest
+	Sizes []int    `json:"sizes"` // default: the paper's seven sizes
+	Modes []string `json:"modes"` // default: the paper's four modes
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var rq SweepRequest
+	if !decode(w, r, &rq) {
+		return
+	}
+	base, err := rq.config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sizes := rq.Sizes
+	if len(sizes) == 0 {
+		sizes = append([]int(nil), core.Sizes...)
+	}
+	modes := core.Modes()
+	if len(rq.Modes) > 0 {
+		modes = modes[:0]
+		for _, ms := range rq.Modes {
+			m, err := core.ParseMode(ms)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			modes = append(modes, m)
+		}
+	}
+	var cfgs []core.Config
+	for _, size := range sizes {
+		if size <= 0 {
+			httpError(w, http.StatusBadRequest, "size must be positive, got %d", size)
+			return
+		}
+		for _, mode := range modes {
+			cfg := base
+			cfg.Mode = mode
+			cfg.Size = size
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	release := s.acquire(w, r)
+	if release == nil {
+		return
+	}
+
+	// Fan the grid across the worker pool; stream each cell as soon as
+	// it and all its predecessors are done, preserving deterministic
+	// order while overlapping compute with delivery.
+	out := make([]*core.Result, len(cfgs))
+	ready := make([]chan struct{}, len(cfgs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	go func() {
+		defer release()
+		s.runner.Do(len(cfgs), func(i int) {
+			out[i] = s.run(cfgs[i])
+			close(ready[i])
+		})
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range cfgs {
+		select {
+		case <-ready[i]:
+		case <-r.Context().Done():
+			// Client gone or timed out: stop streaming. In-flight cells
+			// finish in the background and populate the cache.
+			return
+		}
+		if err := enc.Encode(out[i].Export()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// VerifyResponse is the JSON body of GET /v1/verify.
+type VerifyResponse struct {
+	Checks []core.Check `json:"checks"`
+	Passed int          `json:"passed"`
+	Total  int          `json:"total"`
+}
+
+// handleVerify runs the 17-claim reproduction scorecard. Query
+// parameters: quick=1 shrinks windows, seed=N reseeds. With the cache
+// warm this is nearly free.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	quick := q.Get("quick") == "1" || q.Get("quick") == "true"
+	var seed uint64 = 1
+	if v := q.Get("seed"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &seed); err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+	}
+	var warmup, measure uint64
+	if v := q.Get("warmup_cycles"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &warmup); err != nil {
+			httpError(w, http.StatusBadRequest, "bad warmup_cycles %q", v)
+			return
+		}
+	}
+	if v := q.Get("measure_cycles"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &measure); err != nil {
+			httpError(w, http.StatusBadRequest, "bad measure_cycles %q", v)
+			return
+		}
+	}
+	cfgFor := func(m core.Mode, d ttcp.Direction, size int) core.Config {
+		cfg := core.DefaultConfig(m, d, size)
+		cfg.Seed = seed
+		if quick {
+			cfg.WarmupCycles = 30_000_000
+			cfg.MeasureCycles = 100_000_000
+		}
+		if warmup != 0 {
+			cfg.WarmupCycles = warmup
+		}
+		if measure != 0 {
+			cfg.MeasureCycles = measure
+		}
+		return cfg
+	}
+	release := s.acquire(w, r)
+	if release == nil {
+		return
+	}
+	done := make(chan []core.Check, 1)
+	go func() {
+		defer release()
+		done <- core.VerifyShapeWith(s.runner, cfgFor)
+	}()
+	select {
+	case checks := <-done:
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, core.FormatChecks(checks))
+			return
+		}
+		resp := VerifyResponse{Checks: checks, Total: len(checks)}
+		for _, c := range checks {
+			if c.Pass {
+				resp.Passed++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "request timed out; results will be cached for retry")
+	}
+}
+
+// HealthResponse is the JSON body of GET /healthz. The build version is
+// the cache-invalidation handle: a changed version means persisted cache
+// entries may predate model changes and should be discarded.
+type HealthResponse struct {
+	Status   string      `json:"status"`
+	Version  string      `json:"version"`
+	Workers  int         `json:"workers"`
+	Inflight int         `json:"inflight_requests"`
+	Limit    int         `json:"request_limit"`
+	Cache    cache.Stats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(HealthResponse{
+		Status:   "ok",
+		Version:  s.version,
+		Workers:  s.runner.Workers(),
+		Inflight: len(s.sem),
+		Limit:    cap(s.sem),
+		Cache:    s.cache.Stats(),
+	})
+}

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ttcp"
+)
+
+// tiny are the smallest windows that still measure something; every
+// test request carries them so the suite stays fast.
+const (
+	tinyWarmup  = 2_000_000
+	tinyMeasure = 5_000_000
+)
+
+func newTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	if opts.Runner == nil {
+		opts.Runner = core.NewRunner(0)
+	}
+	ts := httptest.NewServer(New(opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func tinyBody(extra string) string {
+	return fmt.Sprintf(`{"mode":"full","dir":"tx","size":65536,"warmup_cycles":%d,"measure_cycles":%d%s}`,
+		tinyWarmup, tinyMeasure, extra)
+}
+
+func TestRunEndpointMatchesDirectSimulation(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	code, body := post(t, ts.URL+"/v1/run", tinyBody(""))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	cfg := core.DefaultConfig(core.ModeFull, ttcp.TX, 65536)
+	cfg.WarmupCycles = tinyWarmup
+	cfg.MeasureCycles = tinyMeasure
+	want, err := core.Run(cfg).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(body, "\n") != want {
+		t.Errorf("HTTP result differs from direct simulation:\n%s\nvs\n%s", body, want)
+	}
+}
+
+func TestColdAndWarmResponsesByteIdentical(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, cold := post(t, ts.URL+"/v1/run", tinyBody(""))
+	_, warm := post(t, ts.URL+"/v1/run", tinyBody(""))
+	if cold != warm {
+		t.Error("warm (cached) response differs from cold response")
+	}
+	st := srv.Cache().Stats()
+	if st.Sims != 1 {
+		t.Errorf("two identical requests ran %d simulations, want 1", st.Sims)
+	}
+	if st.Hits != 1 {
+		t.Errorf("warm request should hit the cache, stats %+v", st)
+	}
+}
+
+func TestConcurrentIdenticalRequestsSimulateOnce(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const concurrent = 32
+	bodies := make([]string, concurrent)
+	codes := make([]int, concurrent)
+	var wg sync.WaitGroup
+	wg.Add(concurrent)
+	for i := 0; i < concurrent; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tinyBody("")))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			codes[i], bodies[i] = resp.StatusCode, string(b)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < concurrent; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d returned a different body", i)
+		}
+	}
+	if sims := srv.Cache().Stats().Sims; sims != 1 {
+		t.Errorf("%d concurrent identical requests ran %d simulations, want exactly 1 (singleflight)", concurrent, sims)
+	}
+}
+
+func TestSweepStreamsDeterministicNDJSON(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dir":"tx","warmup_cycles":%d,"measure_cycles":%d,"sizes":[128,65536],"modes":["none","full"]}`,
+		tinyWarmup, tinyMeasure)
+	code, cold := post(t, ts.URL+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, cold)
+	}
+
+	// Four NDJSON lines in sizes-outer, modes-inner order.
+	var rows []core.ResultExport
+	sc := bufio.NewScanner(bytes.NewReader([]byte(cold)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row core.ResultExport
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	wantOrder := []struct {
+		mode string
+		size int
+	}{
+		{"No Aff", 128}, {"Full Aff", 128}, {"No Aff", 65536}, {"Full Aff", 65536},
+	}
+	if len(rows) != len(wantOrder) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if rows[i].Mode != w.mode || rows[i].Size != w.size {
+			t.Errorf("row %d = (%s, %d), want (%s, %d)", i, rows[i].Mode, rows[i].Size, w.mode, w.size)
+		}
+	}
+
+	// Replay: byte-identical, no extra simulations.
+	simsAfterCold := srv.Cache().Stats().Sims
+	code, warm := post(t, ts.URL+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if warm != cold {
+		t.Error("warm sweep response not byte-identical to cold response")
+	}
+	if sims := srv.Cache().Stats().Sims; sims != simsAfterCold {
+		t.Errorf("warm sweep simulated %d extra cells", sims-simsAfterCold)
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for name, body := range map[string]string{
+		"unknown mode":     `{"mode":"sideways"}`,
+		"unknown dir":      `{"dir":"up"}`,
+		"unknown policy":   `{"policy":"chaos"}`,
+		"unknown field":    `{"moed":"full"}`,
+		"negative size":    `{"size":-5}`,
+		"impossible shape": `{"cpus":64}`,
+		"malformed json":   `{`,
+	} {
+		code, resp := post(t, ts.URL+"/v1/run", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, code, resp)
+		}
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := get(t, fmt.Sprintf("%s/v1/verify?warmup_cycles=%d&measure_cycles=%d", ts.URL, tinyWarmup, tinyMeasure))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp VerifyResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != len(resp.Checks) || resp.Total < 15 {
+		t.Errorf("scorecard has %d checks (total %d), want the full suite", len(resp.Checks), resp.Total)
+	}
+
+	// Text format renders the scorecard; the runs are already cached.
+	sims := srv.Cache().Stats().Sims
+	code, text := get(t, fmt.Sprintf("%s/v1/verify?warmup_cycles=%d&measure_cycles=%d&format=text", ts.URL, tinyWarmup, tinyMeasure))
+	if code != http.StatusOK || !strings.Contains(text, "checks passed") {
+		t.Errorf("text scorecard: status %d, body %q", code, text)
+	}
+	if after := srv.Cache().Stats().Sims; after != sims {
+		t.Errorf("re-verify simulated %d extra cells, want 0 (cache)", after-sims)
+	}
+}
+
+func TestHealthzReportsVersionAndCache(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0), Version: "test-build-1"})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != "test-build-1" || h.Workers <= 0 || h.Limit <= 0 {
+		t.Errorf("healthz payload %+v", h)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post(t, ts.URL+"/v1/run", tinyBody(""))
+	post(t, ts.URL+"/v1/run", tinyBody(""))
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		`affinity_requests_total{path="/v1/run",code="200"} 2`,
+		"affinity_sims_total 1",
+		"affinity_cache_hits_total 1",
+		"affinity_request_seconds_count 2",
+		"affinity_worker_pool_depth",
+		"affinity_build_info",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestLimiterSheds(t *testing.T) {
+	// A stub that blocks until released, returning a real (tiny) result
+	// so rendering works.
+	cfgA := core.DefaultConfig(core.ModeNone, ttcp.TX, 65536)
+	cfgA.WarmupCycles, cfgA.MeasureCycles = tinyWarmup, tinyMeasure
+	canned := core.Run(cfgA)
+	block := make(chan struct{})
+	stub := func(core.Config) *core.Result { <-block; return canned }
+	defer close(block)
+
+	srv := New(Options{
+		Runner:      core.NewRunner(1),
+		Cache:       cache.New(cache.DefaultMaxBytes, ""),
+		Run:         stub,
+		MaxInflight: 1,
+		Timeout:     300 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// First request occupies the only slot (and eventually times out,
+	// since the stub never returns within the budget).
+	firstDone := make(chan string, 1)
+	go func() {
+		_, body := post(t, ts.URL+"/v1/run", `{"seed":1}`)
+		firstDone <- body
+	}()
+
+	// Give the first request time to take the slot, then saturate.
+	time.Sleep(50 * time.Millisecond)
+	code, body := post(t, ts.URL+"/v1/run", `{"seed":2}`)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "capacity") {
+		t.Errorf("saturated limiter: status %d body %q, want 503 capacity shed", code, body)
+	}
+	first := <-firstDone
+	if !strings.Contains(first, "timed out") {
+		t.Errorf("blocked leader should time out, got %q", first)
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Cold/warm replay check against a live affinity-serve: the same sweep
+# requested twice must produce byte-identical NDJSON bodies, with the
+# second pass served entirely from the result cache (no new
+# simulations). CI runs this; it is also handy locally:
+#
+#   ./scripts/serve_replay.sh [addr]
+set -euo pipefail
+
+ADDR=${1:-127.0.0.1:18080}
+TMP=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/affinity-serve" ./cmd/affinity-serve
+"$TMP/affinity-serve" -addr "$ADDR" -cache-dir "$TMP/cache" &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" = 50 ]; then
+        echo "serve_replay: server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+SWEEP='{"dir":"tx","sizes":[128,65536],"modes":["none","full"],"warmup_cycles":2000000,"measure_cycles":5000000}'
+
+curl -sf "http://$ADDR/v1/sweep" -d "$SWEEP" > "$TMP/cold.ndjson"
+sims_cold=$(curl -sf "http://$ADDR/metrics" | awk '/^affinity_sims_total/ {print $2}')
+curl -sf "http://$ADDR/v1/sweep" -d "$SWEEP" > "$TMP/warm.ndjson"
+sims_warm=$(curl -sf "http://$ADDR/metrics" | awk '/^affinity_sims_total/ {print $2}')
+hits=$(curl -sf "http://$ADDR/metrics" | awk '/^affinity_cache_hits_total/ {print $2}')
+
+if ! cmp -s "$TMP/cold.ndjson" "$TMP/warm.ndjson"; then
+    echo "serve_replay: warm response differs from cold response" >&2
+    diff "$TMP/cold.ndjson" "$TMP/warm.ndjson" >&2 || true
+    exit 1
+fi
+if [ "$sims_cold" = 0 ]; then
+    echo "serve_replay: cold pass ran no simulations?" >&2
+    exit 1
+fi
+if [ "$sims_warm" != "$sims_cold" ]; then
+    echo "serve_replay: warm pass simulated ($sims_cold -> $sims_warm) instead of hitting the cache" >&2
+    exit 1
+fi
+if [ "${hits:-0}" = 0 ]; then
+    echo "serve_replay: no cache hits recorded on the warm pass" >&2
+    exit 1
+fi
+
+lines=$(wc -l < "$TMP/cold.ndjson")
+echo "serve_replay: OK ($lines cells, $sims_cold simulations cold, $hits cache hits warm, bodies byte-identical)"
