@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/prof"
 	"repro/internal/serve"
@@ -344,3 +345,38 @@ func WriteChromeTrace(w io.Writer, r *TraceRecorder, clockHz uint64) error {
 func WriteTextTrace(w io.Writer, r *TraceRecorder, clockHz uint64) error {
 	return trace.WriteText(w, r, clockHz)
 }
+
+// --- fault injection ---
+
+// FaultSchedule is a validated list of deterministic fault events —
+// link flaps, random and bursty (Gilbert-Elliott) loss, wire delay
+// with jitter, NIC DMA stalls, interrupt storms — executed by the
+// engine at configured virtual times. Set it on Config.Faults; a nil
+// or empty schedule is the clean baseline and leaves the run
+// byte-identical to one without the fault subsystem. Faulted runs
+// additionally drain the machine afterwards and verify the resource
+// invariants (CheckInvariants), reporting the verdict on the Result.
+type FaultSchedule = fault.Schedule
+
+// FaultEvent is one scheduled fault; FaultKind tags its type.
+type FaultEvent = fault.Event
+
+// FaultKind is the type of one fault event.
+type FaultKind = fault.Kind
+
+// The fault kinds.
+const (
+	FaultLoss  = fault.KindLoss
+	FaultBurst = fault.KindBurst
+	FaultFlap  = fault.KindFlap
+	FaultDelay = fault.KindDelay
+	FaultStall = fault.KindStall
+	FaultStorm = fault.KindStorm
+)
+
+// ParseFaults builds a schedule from the CLI/HTTP spec syntax —
+// semicolon-separated events of comma-separated key=value pairs, e.g.
+// "flap,nic=0,from=1e9,until=1.5e9;loss,rate=0.01" — or, with a
+// leading "@", from a JSON schedule file. Validate the result against
+// the machine shape before running.
+func ParseFaults(spec string) (*FaultSchedule, error) { return fault.Parse(spec) }

@@ -31,6 +31,21 @@
 //	-timeseries file.csv         sample gauges (util, runqueue, Mbps, IRQ
 //	                             rate) over the measured window into a CSV
 //	-gauge-cycles n              gauge sampling period (default 2e6 = 1 ms)
+//	-faults spec                 deterministic fault schedule: semicolon-
+//	                             separated events, each a kind
+//	                             (loss|burst|flap|delay|stall|storm)
+//	                             followed by comma-separated key=value
+//	                             pairs, e.g.
+//	                             "flap,nic=0,from=1e9,until=1.5e9;loss,rate=0.01",
+//	                             or @file.json for a JSON schedule. The
+//	                             run reports degradation metrics, checks
+//	                             the post-run resource invariants, and
+//	                             exits nonzero on a violation.
+//	-rto-init cycles             initial TCP retransmission timeout
+//	                             (0 = the 200 ms default; LAN-tune, e.g.
+//	                             20000000, so post-fault recovery lands
+//	                             inside short measured windows)
+//	-rto-max cycles              retransmission backoff cap (0 = default)
 //
 // The machine shape flags compose with any mode or policy: e.g.
 // "-cpus 4 -mode full" is the §5 4P scaling point, and
@@ -71,6 +86,9 @@ func main() {
 	traceText := flag.String("trace-text", "", "write a plain-text timeline dump to this file")
 	timeseries := flag.String("timeseries", "", "write a gauge time-series CSV to this file")
 	gaugeCycles := flag.Uint64("gauge-cycles", 2_000_000, "gauge sampling period in cycles (with -timeseries)")
+	faultsFlag := flag.String("faults", "", `fault schedule: "kind,k=v,...;..." (kinds loss|burst|flap|delay|stall|storm) or @schedule.json`)
+	rtoInit := flag.Uint64("rto-init", 0, "initial TCP retransmission timeout in cycles (0 = 200 ms default; LAN-tune for short fault runs)")
+	rtoMax := flag.Uint64("rto-max", 0, "retransmission backoff cap in cycles (0 = default)")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -98,6 +116,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
+	if *rtoInit != 0 {
+		cfg.TCP.RTOInitCycles = *rtoInit
+	}
+	if *rtoMax != 0 {
+		cfg.TCP.RTOMaxCycles = *rtoMax
+	}
 	if *cpus != 2 || *nics != 8 || *queues != 1 || *conns != 0 {
 		t := affinity.Uniform(*cpus, *nics, *queues)
 		t.Conns = *conns
@@ -115,6 +139,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affinity-sim: impossible shape:", err)
 		os.Exit(2)
+	}
+	if *faultsFlag != "" {
+		sched, err := affinity.ParseFaults(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(2)
+		}
+		t := cfg.Topo()
+		if err := sched.Validate(len(t.NICs), t.NumCPUs, cfg.WarmupCycles+cfg.MeasureCycles); err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(2)
+		}
+		if !sched.Empty() {
+			cfg.Faults = sched
+		}
 	}
 	if *planOnly {
 		fmt.Println(plan)
@@ -186,6 +225,22 @@ func main() {
 		fmt.Println(js)
 	} else {
 		fmt.Println(r)
+		if !cfg.Faults.Empty() {
+			fmt.Printf("faults: %d wire drops, %d retransmits, goodput ratio %.4f",
+				r.WireDrops, r.Retransmits, r.GoodputRatio)
+			if n := len(r.FlapRecoveryCycles); n > 0 {
+				fmt.Printf(", %d flap recoveries", n)
+			}
+			if r.InvariantViolation != "" {
+				fmt.Printf("\ninvariants: VIOLATED — %s\n", r.InvariantViolation)
+			} else {
+				fmt.Println("\ninvariants: ok (buffers conserved, timers disarmed, sequences agree)")
+			}
+		}
+	}
+	if r.InvariantViolation != "" {
+		fmt.Fprintln(os.Stderr, "affinity-sim: invariant violation:", r.InvariantViolation)
+		os.Exit(1)
 	}
 
 	if *table1 {

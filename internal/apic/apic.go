@@ -89,6 +89,8 @@ type IOAPIC struct {
 	// TPRWrites counts the uncacheable task-priority-register updates the
 	// rotate policy performs — the overhead §7 calls out.
 	TPRWrites uint64
+	// Spurious counts fault-injected deliveries (InjectSpurious).
+	Spurious  uint64
 	delivered uint64
 
 	rec      *trace.Recorder
@@ -191,6 +193,24 @@ func (a *IOAPIC) Raise(vec Vector) int {
 	}
 	a.targets[cpu].DeliverInterrupt(vec, KindDevice)
 	return cpu
+}
+
+// InjectSpurious delivers vec as a device interrupt directly to cpu,
+// bypassing the vector's affinity mask — the fault layer's interrupt
+// storm, modelling a device (or a misprogrammed router) hammering one
+// processor with deliveries that carry no useful work. The vector must
+// have a registered handler; the handler runs, finds nothing to do, and
+// the cycles are pure interrupt overhead.
+func (a *IOAPIC) InjectSpurious(cpu int, vec Vector) {
+	if cpu < 0 || cpu >= len(a.targets) {
+		panic(fmt.Sprintf("apic: spurious injection to nonexistent cpu %d", cpu))
+	}
+	a.delivered++
+	a.Spurious++
+	if a.rec.Enabled() {
+		a.rec.IRQDeliver(a.traceNow(), cpu, int(vec))
+	}
+	a.targets[cpu].DeliverInterrupt(vec, KindDevice)
 }
 
 // SendIPI delivers an inter-processor interrupt to the given CPU.

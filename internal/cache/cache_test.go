@@ -2,10 +2,12 @@ package cache
 
 import (
 	"os"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/trace"
 	"repro/internal/ttcp"
 )
@@ -251,5 +253,58 @@ func TestDiskStoreIgnoresCorruptEntries(t *testing.T) {
 	st := c.Stats()
 	if st.Sims != 1 || st.DiskErrors == 0 {
 		t.Errorf("corrupt entry: want 1 sim and a recorded disk error, got %+v", st)
+	}
+}
+
+// TestDiskStoreRoundTripFaulted replays a faulted cell through a cold
+// cache: the restored Result must carry the degradation metrics and the
+// invariant verdict bit-identically — a disk hit that silently zeroed
+// Retransmits or dropped the violation string would make a faulted
+// sweep's rendering depend on cache temperature.
+func TestDiskStoreRoundTripFaulted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg(1)
+	sched, err := fault.Parse("loss,rate=0.005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = sched
+
+	warm := New(DefaultMaxBytes, dir)
+	fresh := warm.Run(cfg)
+	if fresh.WireDrops == 0 || !fresh.InvariantsChecked {
+		t.Fatalf("faulted warming run should drop frames and check invariants: drops=%d checked=%v",
+			fresh.WireDrops, fresh.InvariantsChecked)
+	}
+	if fresh.InvariantViolation != "" {
+		t.Fatalf("invariant violation: %s", fresh.InvariantViolation)
+	}
+
+	cold := New(DefaultMaxBytes, dir)
+	restored := cold.Run(cfg)
+	if st := cold.Stats(); st.Sims != 0 || st.DiskHits != 1 {
+		t.Fatalf("cold cache should disk-hit without simulating: %+v", st)
+	}
+	if restored.Retransmits != fresh.Retransmits ||
+		restored.WireDrops != fresh.WireDrops ||
+		restored.WireBytes != fresh.WireBytes ||
+		restored.GoodputRatio != fresh.GoodputRatio ||
+		!reflect.DeepEqual(restored.FlapRecoveryCycles, fresh.FlapRecoveryCycles) ||
+		restored.InvariantsChecked != fresh.InvariantsChecked ||
+		restored.InvariantViolation != fresh.InvariantViolation {
+		t.Errorf("restored degradation metrics differ:\n fresh:    %+v %+v\n restored: %+v %+v",
+			[]uint64{fresh.Retransmits, fresh.WireDrops, fresh.WireBytes}, fresh.GoodputRatio,
+			[]uint64{restored.Retransmits, restored.WireDrops, restored.WireBytes}, restored.GoodputRatio)
+	}
+	freshJSON, err := fresh.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredJSON, err := restored.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoredJSON != freshJSON {
+		t.Error("restored faulted JSON differs from the fresh simulation")
 	}
 }

@@ -26,6 +26,18 @@ type storedResult struct {
 	Drops          uint64
 	IdleCycles     []uint64
 	Ctr            perf.CountersDump
+
+	// Degradation metrics and the invariant verdict from faulted runs.
+	// Replaying a faulted cell from disk must reproduce these exactly —
+	// including the verdict, since Run checks invariants (and charges
+	// the drain's virtual time) before the result is ever cached.
+	Retransmits        uint64
+	WireDrops          uint64
+	WireBytes          uint64
+	GoodputRatio       float64
+	FlapRecoveryCycles []uint64
+	InvariantsChecked  bool
+	InvariantViolation string
 }
 
 // path maps a fingerprint to its file. Keys are hex SHA-256, so they are
@@ -58,17 +70,24 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 		return nil, false
 	}
 	return &core.Result{
-		Cfg:            cfg,
-		ElapsedCycles:  sr.ElapsedCycles,
-		Bytes:          sr.Bytes,
-		Transactions:   sr.Transactions,
-		Mbps:           sr.Mbps,
-		Util:           sr.Util,
-		AvgUtil:        sr.AvgUtil,
-		CostGHzPerGbps: sr.CostGHzPerGbps,
-		Drops:          sr.Drops,
-		IdleCycles:     sr.IdleCycles,
-		Ctr:            ctr,
+		Cfg:                cfg,
+		ElapsedCycles:      sr.ElapsedCycles,
+		Bytes:              sr.Bytes,
+		Transactions:       sr.Transactions,
+		Mbps:               sr.Mbps,
+		Util:               sr.Util,
+		AvgUtil:            sr.AvgUtil,
+		CostGHzPerGbps:     sr.CostGHzPerGbps,
+		Drops:              sr.Drops,
+		IdleCycles:         sr.IdleCycles,
+		Ctr:                ctr,
+		Retransmits:        sr.Retransmits,
+		WireDrops:          sr.WireDrops,
+		WireBytes:          sr.WireBytes,
+		GoodputRatio:       sr.GoodputRatio,
+		FlapRecoveryCycles: sr.FlapRecoveryCycles,
+		InvariantsChecked:  sr.InvariantsChecked,
+		InvariantViolation: sr.InvariantViolation,
 	}, true
 }
 
@@ -85,16 +104,23 @@ func (c *Cache) storeDisk(key string, res *core.Result) {
 		return
 	}
 	sr := storedResult{
-		ElapsedCycles:  res.ElapsedCycles,
-		Bytes:          res.Bytes,
-		Transactions:   res.Transactions,
-		Mbps:           res.Mbps,
-		Util:           res.Util,
-		AvgUtil:        res.AvgUtil,
-		CostGHzPerGbps: res.CostGHzPerGbps,
-		Drops:          res.Drops,
-		IdleCycles:     res.IdleCycles,
-		Ctr:            res.Ctr.Dump(),
+		ElapsedCycles:      res.ElapsedCycles,
+		Bytes:              res.Bytes,
+		Transactions:       res.Transactions,
+		Mbps:               res.Mbps,
+		Util:               res.Util,
+		AvgUtil:            res.AvgUtil,
+		CostGHzPerGbps:     res.CostGHzPerGbps,
+		Drops:              res.Drops,
+		IdleCycles:         res.IdleCycles,
+		Ctr:                res.Ctr.Dump(),
+		Retransmits:        res.Retransmits,
+		WireDrops:          res.WireDrops,
+		WireBytes:          res.WireBytes,
+		GoodputRatio:       res.GoodputRatio,
+		FlapRecoveryCycles: res.FlapRecoveryCycles,
+		InvariantsChecked:  res.InvariantsChecked,
+		InvariantViolation: res.InvariantViolation,
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 	if err != nil {

@@ -20,7 +20,7 @@ import (
 // scheme itself changes (not when the simulator changes — simulator
 // changes that alter results must be handled by operators discarding the
 // disk store, see the server's /healthz build version).
-const fingerprintVersion = "affinity-fp-v1"
+const fingerprintVersion = "affinity-fp-v2"
 
 // coveredFields records, per configuration struct the fingerprint walks,
 // the exact field set the implementation handles. TestFingerprintCoversConfig
@@ -36,7 +36,7 @@ var coveredFields = map[string][]string{
 		"Mode", "Dir", "Size", "NumCPUs", "NumNICs", "Topology", "Policy",
 		"Seed", "WarmupCycles", "MeasureCycles", "RotateIRQs", "SkipWorkload",
 		"ThinkCycles", "RecordLatency", "Trace", "GaugeCycles",
-		"CPU", "Tune", "TCP",
+		"CPU", "Tune", "TCP", "Faults",
 	},
 	"cpu.Config":    {"ClockHz", "BaseCPI", "Penalty", "TLBEntries"},
 	"cpu.Penalties": {"MachineClear", "TCMiss", "L2Hit", "L2Miss", "LLCMiss", "ITLBWalk", "DTLBWalk", "BrMispredict", "RemoteClearPeriod"},
@@ -45,11 +45,20 @@ var coveredFields = map[string][]string{
 		"QuantumCycles", "TickCycles", "IPILatencyCycles", "BalanceTicks",
 		"CacheDecayCycles", "WakeAffinity", "WakeIPI", "PreemptIPI", "DMAReadInvalidates",
 	},
-	"tcp.Config":    {"MSS", "SndBuf", "RcvBuf", "PoolSKBs", "PoolHeaders", "DelAckSegs", "ClientDelayCycles", "RxIntCopy"},
+	"tcp.Config":    {"MSS", "SndBuf", "RcvBuf", "PoolSKBs", "PoolHeaders", "DelAckSegs", "ClientDelayCycles", "RxIntCopy", "RTOInitCycles", "RTOMaxCycles"},
 	"topo.Topology": {"NumCPUs", "Domains", "NICs", "Conns"},
 	"topo.NICShape": {"Queues", "LinkBps"},
 	"trace.Config":  {"Capacity"},
 	"topo.Plan":     {"Topo", "Policy", "QueueVectors", "IRQMasks", "ProcMasks", "StartCPUs", "FlowQueues", "RotateIRQs"},
+	"netdev.NICConfig": {
+		"Vector", "LinkBps", "TxRing", "RxRing", "CoalesceCycles",
+		"WireLatencyCycles", "LossRate", "NAPI", "QueueVectors",
+	},
+	"fault.Schedule": {"Events"},
+	"fault.Event": {
+		"Kind", "NIC", "CPU", "From", "Until", "Rate", "BadRate",
+		"PEnterBad", "PExitBad", "DelayCycles", "JitterCycles", "PeriodCycles",
+	},
 }
 
 // Cacheable reports whether cfg's Result can be served from a cache.
@@ -114,6 +123,15 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 			p("plan.nic%d vecs=%v masks=%v\n", n, plan.QueueVectors[n], plan.IRQMasks[n])
 		}
 		p("plan.procs masks=%v starts=%v flows=%v\n", plan.ProcMasks, plan.StartCPUs, plan.FlowQueues)
+		// Resolved per-device configuration — exactly what NewMachine
+		// hands each NIC (ring sizes, coalescing, wire latency, loss),
+		// so device-model knobs can never slip past the key.
+		for n := range plan.QueueVectors {
+			nc := core.NICConfigFor(plan, n)
+			p("nicdev%d vec=%d link=%d tx=%d rx=%d coalesce=%d wirelat=%d loss=%g napi=%t qvecs=%v\n",
+				n, nc.Vector, nc.LinkBps, nc.TxRing, nc.RxRing, nc.CoalesceCycles,
+				nc.WireLatencyCycles, nc.LossRate, nc.NAPI, nc.QueueVectors)
+		}
 	}
 
 	// Model parameter blocks, field by field.
@@ -129,7 +147,19 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 		tu.QuantumCycles, tu.TickCycles, tu.IPILatencyCycles, tu.BalanceTicks,
 		tu.CacheDecayCycles, tu.WakeAffinity, tu.WakeIPI, tu.PreemptIPI, tu.DMAReadInvalidates)
 	tc := cfg.TCP
-	p("tcp mss=%d snd=%d rcv=%d skbs=%d hdrs=%d delack=%d clidelay=%d intcopy=%t\n",
+	p("tcp mss=%d snd=%d rcv=%d skbs=%d hdrs=%d delack=%d clidelay=%d intcopy=%t rtoinit=%d rtomax=%d\n",
 		tc.MSS, tc.SndBuf, tc.RcvBuf, tc.PoolSKBs, tc.PoolHeaders,
-		tc.DelAckSegs, tc.ClientDelayCycles, tc.RxIntCopy)
+		tc.DelAckSegs, tc.ClientDelayCycles, tc.RxIntCopy,
+		tc.RTOInitCycles, tc.RTOMaxCycles)
+
+	// Fault schedule, event by event. A nil and an empty schedule inject
+	// nothing and simulate identically (the injector draws no random
+	// numbers), so both hash as the absence of this section.
+	if !cfg.Faults.Empty() {
+		for _, e := range cfg.Faults.Events {
+			p("fault kind=%s nic=%d cpu=%d from=%d until=%d rate=%g bad=%g penter=%g pexit=%g delay=%d jitter=%d period=%d\n",
+				e.Kind, e.NIC, e.CPU, e.From, e.Until, e.Rate, e.BadRate,
+				e.PEnterBad, e.PExitBad, e.DelayCycles, e.JitterCycles, e.PeriodCycles)
+		}
+	}
 }

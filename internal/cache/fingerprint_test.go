@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/kern"
+	"repro/internal/netdev"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -23,15 +25,18 @@ import (
 // entry.
 func TestFingerprintCoversConfig(t *testing.T) {
 	types := map[string]reflect.Type{
-		"core.Config":   reflect.TypeOf(core.Config{}),
-		"cpu.Config":    reflect.TypeOf(cpu.Config{}),
-		"cpu.Penalties": reflect.TypeOf(cpu.Penalties{}),
-		"kern.Tuning":   reflect.TypeOf(kern.Tuning{}),
-		"tcp.Config":    reflect.TypeOf(tcp.Config{}),
-		"topo.Topology": reflect.TypeOf(topo.Topology{}),
-		"topo.NICShape": reflect.TypeOf(topo.NICShape{}),
-		"trace.Config":  reflect.TypeOf(trace.Config{}),
-		"topo.Plan":     reflect.TypeOf(topo.Plan{}),
+		"core.Config":      reflect.TypeOf(core.Config{}),
+		"cpu.Config":       reflect.TypeOf(cpu.Config{}),
+		"cpu.Penalties":    reflect.TypeOf(cpu.Penalties{}),
+		"kern.Tuning":      reflect.TypeOf(kern.Tuning{}),
+		"tcp.Config":       reflect.TypeOf(tcp.Config{}),
+		"topo.Topology":    reflect.TypeOf(topo.Topology{}),
+		"topo.NICShape":    reflect.TypeOf(topo.NICShape{}),
+		"trace.Config":     reflect.TypeOf(trace.Config{}),
+		"topo.Plan":        reflect.TypeOf(topo.Plan{}),
+		"netdev.NICConfig": reflect.TypeOf(netdev.NICConfig{}),
+		"fault.Schedule":   reflect.TypeOf(fault.Schedule{}),
+		"fault.Event":      reflect.TypeOf(fault.Event{}),
 	}
 	for name, typ := range types {
 		covered, ok := coveredFields[name]
@@ -91,6 +96,11 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 			topo := topo.Uniform(4, 2, 2)
 			c.Topology = &topo
 		},
+		"Faults": func(c *core.Config) {
+			c.Faults = &fault.Schedule{Events: []fault.Event{
+				{Kind: fault.KindLoss, NIC: -1, Rate: 0.01},
+			}}
+		},
 	}
 	for field, mutate := range mutations {
 		cfg := fpCfg()
@@ -128,6 +138,44 @@ func TestFingerprintMergesEquivalentShapes(t *testing.T) {
 	otherMode.Policy = topo.None{} // same placement as base... but
 	if Fingerprint(otherMode) == Fingerprint(byMode) {
 		t.Error("different Modes must fingerprint differently even under identical placement")
+	}
+}
+
+// TestFingerprintFaultSensitivity pins the fault-schedule corner of the
+// key: a nil and an empty schedule inject nothing and must share the
+// clean baseline's entry, while schedules differing in any event
+// parameter — even one cycle of a window — must never collide.
+func TestFingerprintFaultSensitivity(t *testing.T) {
+	clean := Fingerprint(fpCfg())
+	empty := fpCfg()
+	empty.Faults = &fault.Schedule{}
+	if Fingerprint(empty) != clean {
+		t.Error("an empty fault schedule simulates identically to nil and must share its fingerprint")
+	}
+
+	ev := fault.Event{Kind: fault.KindBurst, NIC: -1, PEnterBad: 0.002, PExitBad: 0.2, BadRate: 0.9}
+	base := fpCfg()
+	base.Faults = &fault.Schedule{Events: []fault.Event{ev}}
+	faulted := Fingerprint(base)
+	if faulted == clean {
+		t.Fatal("a faulted config must not share the clean baseline's fingerprint")
+	}
+
+	tweaks := map[string]func(*fault.Event){
+		"Kind":      func(e *fault.Event) { e.Kind = fault.KindLoss; e.Rate = 0.9 },
+		"NIC":       func(e *fault.Event) { e.NIC = 0 },
+		"Until":     func(e *fault.Event) { e.Until = 1 },
+		"BadRate":   func(e *fault.Event) { e.BadRate = 0.8 },
+		"PEnterBad": func(e *fault.Event) { e.PEnterBad = 0.003 },
+	}
+	for field, tweak := range tweaks {
+		cfg := fpCfg()
+		e := ev
+		tweak(&e)
+		cfg.Faults = &fault.Schedule{Events: []fault.Event{e}}
+		if Fingerprint(cfg) == faulted {
+			t.Errorf("changing fault %s did not change the fingerprint", field)
+		}
 	}
 }
 

@@ -23,6 +23,17 @@ type ResultExport struct {
 	Bytes        uint64 `json:"bytes"`
 	Drops        uint64 `json:"drops"`
 
+	// Degradation metrics and the invariant verdict. Wire volume and
+	// goodput ratio are reported for every run; the loss counters and
+	// invariant verdict are zero-valued on clean runs and omitted.
+	Retransmits        uint64   `json:"retransmits,omitempty"`
+	WireDrops          uint64   `json:"wire_drops,omitempty"`
+	WireBytes          uint64   `json:"wire_bytes,omitempty"`
+	GoodputRatio       float64  `json:"goodput_ratio,omitempty"`
+	FlapRecoveryCycles []uint64 `json:"flap_recovery_cycles,omitempty"`
+	InvariantsChecked  bool     `json:"invariants_checked,omitempty"`
+	InvariantViolation string   `json:"invariant_violation,omitempty"`
+
 	OverallCPI float64 `json:"overall_cpi"`
 	OverallMPI float64 `json:"overall_mpi"`
 
@@ -56,14 +67,23 @@ func (r *Result) Export() ResultExport {
 		Transactions: r.Transactions,
 		Bytes:        r.Bytes,
 		Drops:        r.Drops,
-		OverallCPI:   tab.Overall.CPI,
-		OverallMPI:   tab.Overall.MPI,
-		Clears:       r.Ctr.Total(perf.MachineClears),
-		LLCMisses:    r.Ctr.Total(perf.LLCMisses),
-		IPIs:         r.Ctr.Total(perf.IPIsReceived),
-		IRQs:         r.Ctr.Total(perf.IRQsReceived),
-		SpinCycles:   r.Ctr.Total(perf.SpinCycles),
-		Bins:         make(map[string]BinExport, len(tab.Rows)),
+
+		Retransmits:        r.Retransmits,
+		WireDrops:          r.WireDrops,
+		WireBytes:          r.WireBytes,
+		GoodputRatio:       r.GoodputRatio,
+		FlapRecoveryCycles: r.FlapRecoveryCycles,
+		InvariantsChecked:  r.InvariantsChecked,
+		InvariantViolation: r.InvariantViolation,
+
+		OverallCPI: tab.Overall.CPI,
+		OverallMPI: tab.Overall.MPI,
+		Clears:     r.Ctr.Total(perf.MachineClears),
+		LLCMisses:  r.Ctr.Total(perf.LLCMisses),
+		IPIs:       r.Ctr.Total(perf.IPIsReceived),
+		IRQs:       r.Ctr.Total(perf.IRQsReceived),
+		SpinCycles: r.Ctr.Total(perf.SpinCycles),
+		Bins:       make(map[string]BinExport, len(tab.Rows)),
 	}
 	for _, row := range tab.Rows {
 		out.Bins[row.Bin.String()] = BinExport{

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/ttcp"
@@ -21,10 +22,10 @@ func TestLossMakesWorkloadIdleBoundNotAffinityBound(t *testing.T) {
 	for _, mode := range []Mode{ModeNone, ModeFull} {
 		cfg := testConfig(mode, ttcp.TX, 65536)
 		cfg.MeasureCycles = 400_000_000
+		cfg.Faults = &fault.Schedule{Events: []fault.Event{
+			{Kind: fault.KindLoss, NIC: -1, Rate: 0.005},
+		}}
 		m := NewMachine(cfg)
-		for _, n := range m.NICs {
-			n.SetLossRate(0.005)
-		}
 		m.Eng.Run(simTime(cfg.WarmupCycles))
 		r := m.Measure(cfg.MeasureCycles)
 		var rexmit, drops uint64

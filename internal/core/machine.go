@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/apic"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/kern"
 	"repro/internal/mem"
 	"repro/internal/netdev"
@@ -137,6 +138,14 @@ type Config struct {
 	// runqueue depth and utilization, achieved Mbps, device-interrupt
 	// rate) every GaugeCycles during Measure into Result.Series.
 	GaugeCycles uint64
+	// Faults is the deterministic fault schedule injected into the run
+	// (link flaps, burst loss, wire delay, DMA stalls, interrupt
+	// storms). Nil or empty means the clean baseline: nothing is
+	// installed and the run is byte-identical to one before the fault
+	// subsystem existed. Loss and fault behaviour flows ONLY through
+	// this field (plus NICConfig), so the result cache's fingerprint
+	// always sees it.
+	Faults *fault.Schedule
 
 	CPU  cpu.Config
 	Tune kern.Tuning
@@ -207,6 +216,8 @@ type Machine struct {
 	Sockets []*tcp.Socket
 	Clients []*tcp.Client
 	Procs   []*ttcp.Proc
+	// Faults is the installed fault injector (nil for a clean run).
+	Faults *fault.Injector
 }
 
 // NewMachine builds the SUT: kernel, stack, NICs, connections and ttcp
@@ -245,14 +256,7 @@ func NewMachine(cfg Config) *Machine {
 	m.Sockets = make([]*tcp.Socket, conns)
 	m.Clients = make([]*tcp.Client, conns)
 	for n := range t.NICs {
-		ncfg := netdev.DefaultNICConfig(plan.QueueVectors[n][0])
-		if t.NICs[n].LinkBps != 0 {
-			ncfg.LinkBps = t.NICs[n].LinkBps
-		}
-		if t.QueuesOf(n) > 1 {
-			ncfg.QueueVectors = plan.QueueVectors[n]
-		}
-		nic := st.AddNICWithConfig(ncfg)
+		nic := st.AddNICWithConfig(NICConfigFor(plan, n))
 		m.NICs = append(m.NICs, nic)
 
 		// This NIC's connections, in ascending connection order (the
@@ -281,6 +285,13 @@ func NewMachine(cfg Config) *Machine {
 		k.APIC.SetPolicy(apic.PolicyRotate)
 	}
 
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(len(t.NICs), t.NumCPUs, cfg.WarmupCycles+cfg.MeasureCycles); err != nil {
+			panic("core: " + err.Error())
+		}
+		m.Faults = fault.Attach(cfg.Faults, eng, rec, m.NICs, k.APIC)
+	}
+
 	if !cfg.SkipWorkload {
 		for i := 0; i < conns; i++ {
 			p := ttcp.Launch(st, m.Sockets[i], m.Clients[i], ttcp.Config{
@@ -303,6 +314,22 @@ func NewMachine(cfg Config) *Machine {
 	}
 	k.StartTicks()
 	return m
+}
+
+// NICConfigFor returns the device configuration NewMachine builds for
+// NIC n of the plan. Exported so the cache fingerprint can hash
+// exactly the per-device config (ring sizes, loss rate, vectors) a run
+// will use, rather than re-deriving it.
+func NICConfigFor(plan *topo.Plan, n int) netdev.NICConfig {
+	t := plan.Topo
+	ncfg := netdev.DefaultNICConfig(plan.QueueVectors[n][0])
+	if t.NICs[n].LinkBps != 0 {
+		ncfg.LinkBps = t.NICs[n].LinkBps
+	}
+	if t.QueuesOf(n) > 1 {
+		ncfg.QueueVectors = plan.QueueVectors[n]
+	}
+	return ncfg
 }
 
 // AffinityMaskFor returns the process affinity mask the machine's plan
@@ -341,6 +368,44 @@ func (m *Machine) drops() uint64 {
 	var total uint64
 	for _, n := range m.NICs {
 		total += n.RxDropped
+	}
+	return total
+}
+
+// retransmits sums TCP retransmissions on both ends: SUT sockets (TX
+// recovery) and the far-end clients (RX recovery).
+func (m *Machine) retransmits() uint64 {
+	var total uint64
+	for _, s := range m.Sockets {
+		total += s.Retransmits
+	}
+	for _, c := range m.Clients {
+		total += c.Retransmits
+	}
+	return total
+}
+
+// wireDrops sums frames lost on the wire: random/burst loss plus
+// frames that hit a downed link.
+func (m *Machine) wireDrops() uint64 {
+	var total uint64
+	for _, n := range m.NICs {
+		total += n.WireDrops + n.LinkDownDrops
+	}
+	return total
+}
+
+// wireBytes is the raw byte volume the SUT serialized in the workload
+// direction — retransmissions included — against which goodput is
+// compared.
+func (m *Machine) wireBytes() uint64 {
+	var total uint64
+	for _, n := range m.NICs {
+		if m.Cfg.Dir == ttcp.TX {
+			total += n.TxBytes
+		} else {
+			total += n.RxBytes
+		}
 	}
 	return total
 }

@@ -29,6 +29,28 @@ type Result struct {
 	// Drops counts receive-ring overflow drops (should be zero).
 	Drops uint64
 
+	// Degradation metrics — all zero on a clean run.
+	//
+	// Retransmits counts SUT-side TCP segments retransmitted in the
+	// window; WireDrops the frames lost on the wire (random loss, burst
+	// loss, downed links). WireBytes is the raw volume the SUT's MACs
+	// moved in the workload direction (TX: serialized including
+	// retransmissions; RX: received including duplicates), and
+	// GoodputRatio is Bytes/WireBytes — how much of the wire's work was
+	// useful. FlapRecoveryCycles lists, per completed link flap, the
+	// gap between link-up and the first frame moving again.
+	Retransmits        uint64
+	WireDrops          uint64
+	WireBytes          uint64
+	GoodputRatio       float64
+	FlapRecoveryCycles []uint64
+
+	// InvariantsChecked is set when the post-run invariant pass ran
+	// (faulted runs via Run); InvariantViolation holds its failure, if
+	// any.
+	InvariantsChecked  bool
+	InvariantViolation string
+
 	// Ctr is the PMU counter delta over the window.
 	Ctr *perf.Counters
 	// IdleCycles is the per-CPU idle time inside the window.
@@ -43,12 +65,22 @@ type Result struct {
 }
 
 // Run builds a machine, warms it up, measures one window and shuts the
-// machine down. This is the primary entry point for experiments.
+// machine down. This is the primary entry point for experiments. A
+// faulted run additionally drains the machine afterwards and checks
+// the resource invariants (CheckInvariants), reporting any violation
+// on the result.
 func Run(cfg Config) *Result {
 	m := NewMachine(cfg)
 	defer m.Shutdown()
 	m.Eng.Run(sim.Time(cfg.WarmupCycles))
-	return m.Measure(cfg.MeasureCycles)
+	r := m.Measure(cfg.MeasureCycles)
+	if !cfg.Faults.Empty() {
+		r.InvariantsChecked = true
+		if err := m.CheckInvariants(); err != nil {
+			r.InvariantViolation = err.Error()
+		}
+	}
+	return r
 }
 
 // Measure runs the machine for the given window and returns the delta
@@ -58,6 +90,9 @@ func (m *Machine) Measure(window uint64) *Result {
 	startBytes := m.appBytes()
 	startTxns := m.transactions()
 	startDrops := m.drops()
+	startRexmits := m.retransmits()
+	startWireDrops := m.wireDrops()
+	startWireBytes := m.wireBytes()
 	snap := m.Ctr.Snapshot()
 	idle0 := make([]uint64, len(m.K.CPUs))
 	for i, c := range m.K.CPUs {
@@ -78,10 +113,19 @@ func (m *Machine) Measure(window uint64) *Result {
 		Bytes:         m.appBytes() - startBytes,
 		Transactions:  m.transactions() - startTxns,
 		Drops:         m.drops() - startDrops,
+		Retransmits:   m.retransmits() - startRexmits,
+		WireDrops:     m.wireDrops() - startWireDrops,
+		WireBytes:     m.wireBytes() - startWireBytes,
 		Ctr:           m.Ctr.Diff(snap),
 		Trace:         m.Rec,
 		Series:        series,
 	}
+	if r.WireBytes > 0 {
+		r.GoodputRatio = float64(r.Bytes) / float64(r.WireBytes)
+	}
+	// Flap recoveries are one-shot episodes, not a windowed rate: the
+	// result carries every recovery completed by the end of this window.
+	r.FlapRecoveryCycles = append([]uint64(nil), m.Faults.Recoveries()...)
 	var busyTotal uint64
 	for i, c := range m.K.CPUs {
 		idle := c.IdleCycles() - idle0[i]

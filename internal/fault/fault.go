@@ -1,0 +1,264 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// validated schedule of typed degradation events — link flaps, bursty
+// (Gilbert-Elliott) loss, wire delay with jitter, NIC DMA stalls,
+// per-CPU interrupt storms — executed by the simulation engine at
+// configured virtual times. Every random decision draws from the run's
+// seeded RNG, so a faulted run is bit-reproducible across the serial
+// and parallel runners and the result cache.
+//
+// The paper's LAN is loss-free and its runs are steady-state; this
+// layer exists to characterize how the affinity modes degrade when the
+// network is not cooperating, and to drive the post-run resource
+// invariant checks (no leaked buffers, no armed retransmission timers)
+// that a clean run never exercises.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Kind names one fault type.
+type Kind string
+
+const (
+	// KindLoss drops each wire frame independently with probability
+	// Rate during the window (both directions).
+	KindLoss Kind = "loss"
+	// KindBurst is Gilbert-Elliott two-state loss: a per-frame Markov
+	// chain moves between a good state (drop probability Rate, usually
+	// zero) and a bad state (drop probability BadRate) with transition
+	// probabilities PEnterBad and PExitBad, producing correlated drop
+	// bursts rather than independent losses.
+	KindBurst Kind = "burst"
+	// KindFlap takes the link down at From and back up at Until; every
+	// frame reaching the wire while down is dropped and counted.
+	KindFlap Kind = "flap"
+	// KindDelay adds DelayCycles plus a uniform jitter in
+	// [0, JitterCycles] to each frame's wire propagation during the
+	// window; unequal jitter draws reorder frames within that bound.
+	KindDelay Kind = "delay"
+	// KindStall freezes the NIC's receive DMA engine from From to
+	// Until: frames arriving off the wire are held (or overflow the
+	// ring) and flushed in FIFO order on resume.
+	KindStall Kind = "stall"
+	// KindStorm injects a spurious delivery of NIC's interrupt vector
+	// directly to CPU every PeriodCycles during the window, bypassing
+	// the affinity mask; the handler finds no work, so the cost is pure
+	// interrupt overhead on the victim processor.
+	KindStorm Kind = "storm"
+)
+
+// Event is one scheduled fault. Which fields matter depends on Kind;
+// Validate rejects nonsense combinations. All times are virtual cycles
+// from the start of the run (warmup included).
+type Event struct {
+	Kind Kind `json:"kind"`
+	// NIC is the target device. -1 targets every NIC (wire faults
+	// only); KindStorm names the device whose vector is injected.
+	NIC int `json:"nic"`
+	// CPU is the storm's victim processor; ignored by other kinds.
+	CPU int `json:"cpu"`
+	// From and Until bound the active window in cycles. Until == 0
+	// means "until the end of the run".
+	From  uint64 `json:"from"`
+	Until uint64 `json:"until"`
+	// Rate is the drop probability (loss; burst good state).
+	Rate float64 `json:"rate"`
+	// BadRate, PEnterBad, PExitBad parameterize the burst chain.
+	BadRate   float64 `json:"bad_rate"`
+	PEnterBad float64 `json:"p_enter_bad"`
+	PExitBad  float64 `json:"p_exit_bad"`
+	// DelayCycles and JitterCycles parameterize KindDelay.
+	DelayCycles  uint64 `json:"delay_cycles"`
+	JitterCycles uint64 `json:"jitter_cycles"`
+	// PeriodCycles is the storm's injection interval.
+	PeriodCycles uint64 `json:"period_cycles"`
+}
+
+// Schedule is a validated list of fault events. A nil or empty
+// schedule is the clean baseline: nothing is installed, nothing is
+// scheduled, and no random numbers are drawn, so runs with an empty
+// schedule are byte-identical to runs before this package existed.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// wireKind reports whether k acts on the wire path of a NIC.
+func wireKind(k Kind) bool {
+	switch k {
+	case KindLoss, KindBurst, KindDelay:
+		return true
+	}
+	return false
+}
+
+func probRange(name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("%s %g outside [0,1]", name, p)
+	}
+	return nil
+}
+
+// Validate checks every event against the machine shape and run
+// horizon (total cycles; 0 = unknown). It returns the first problem
+// found, prefixed with the offending event's index.
+func (s *Schedule) Validate(numNICs, numCPUs int, horizonCycles uint64) error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.Events {
+		if err := e.validate(numNICs, numCPUs, horizonCycles); err != nil {
+			return fmt.Errorf("fault event %d (%s): %w", i, e.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (e *Event) validate(numNICs, numCPUs int, horizonCycles uint64) error {
+	switch e.Kind {
+	case KindLoss:
+		if err := probRange("rate", e.Rate); err != nil {
+			return err
+		}
+		if e.Rate == 0 {
+			return fmt.Errorf("loss with rate 0 does nothing")
+		}
+	case KindBurst:
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"rate", e.Rate}, {"bad_rate", e.BadRate}, {"p_enter_bad", e.PEnterBad}, {"p_exit_bad", e.PExitBad}} {
+			if err := probRange(p.name, p.v); err != nil {
+				return err
+			}
+		}
+		if e.PEnterBad == 0 && e.Rate == 0 {
+			return fmt.Errorf("burst never enters the bad state and good-state rate is 0")
+		}
+	case KindFlap, KindStall:
+		// Window-only faults; checked below.
+	case KindDelay:
+		if e.DelayCycles == 0 && e.JitterCycles == 0 {
+			return fmt.Errorf("delay with no delay_cycles or jitter_cycles")
+		}
+	case KindStorm:
+		if e.PeriodCycles == 0 {
+			return fmt.Errorf("storm needs period_cycles > 0")
+		}
+		if e.CPU < 0 || e.CPU >= numCPUs {
+			return fmt.Errorf("cpu %d outside machine (0..%d)", e.CPU, numCPUs-1)
+		}
+		if e.NIC < 0 || e.NIC >= numNICs {
+			return fmt.Errorf("storm nic %d must name one device (0..%d)", e.NIC, numNICs-1)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", e.Kind)
+	}
+	if e.Kind != KindStorm {
+		if e.NIC < -1 || e.NIC >= numNICs {
+			return fmt.Errorf("nic %d outside machine (-1 for all, 0..%d)", e.NIC, numNICs-1)
+		}
+	}
+	if e.Until != 0 && e.Until <= e.From {
+		return fmt.Errorf("window [%d, %d) is empty", e.From, e.Until)
+	}
+	if horizonCycles != 0 && e.From >= horizonCycles {
+		return fmt.Errorf("window starts at %d, beyond the %d-cycle run", e.From, horizonCycles)
+	}
+	return nil
+}
+
+// Parse builds a schedule from a spec string. A spec beginning with
+// "@" names a JSON file holding a Schedule; anything else is the
+// inline form: semicolon-separated events, each a kind followed by
+// comma-separated key=value pairs, e.g.
+//
+//	flap,nic=0,from=1e9,until=1.5e9;loss,rate=0.01
+//
+// Keys: nic, cpu, from, until, rate, bad, penter, pexit, delay,
+// jitter, period. Numbers accept scientific notation (cycle values are
+// truncated to integers). An omitted nic means every NIC. The result
+// is not validated — callers hold the machine shape.
+func Parse(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return &Schedule{}, nil
+	}
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("fault: reading schedule: %w", err)
+		}
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("fault: parsing %s: %w", spec[1:], err)
+		}
+		return &s, nil
+	}
+	var s Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %q: %w", part, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return &s, nil
+}
+
+func parseEvent(part string) (Event, error) {
+	fields := strings.Split(part, ",")
+	ev := Event{Kind: Kind(strings.TrimSpace(fields[0])), NIC: -1}
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return ev, fmt.Errorf("%q is not key=value", f)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return ev, fmt.Errorf("%s: %v", key, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "nic":
+			ev.NIC = int(x)
+		case "cpu":
+			ev.CPU = int(x)
+		case "from":
+			ev.From = uint64(x)
+		case "until":
+			ev.Until = uint64(x)
+		case "rate":
+			ev.Rate = x
+		case "bad":
+			ev.BadRate = x
+		case "penter":
+			ev.PEnterBad = x
+		case "pexit":
+			ev.PExitBad = x
+		case "delay":
+			ev.DelayCycles = uint64(x)
+		case "jitter":
+			ev.JitterCycles = uint64(x)
+		case "period":
+			ev.PeriodCycles = uint64(x)
+		default:
+			return ev, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if ev.Kind == KindStorm && ev.NIC == -1 {
+		ev.NIC = 0
+	}
+	return ev, nil
+}

@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"repro/internal/apic"
+	"repro/internal/netdev"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// recoveryProbePeriod is how often a recovering link is polled for its
+// first post-flap frame, and recoveryProbeCap bounds how long the
+// probe keeps looking before giving up (a retransmission stack that
+// never recovers is an invariant failure, not a metric).
+const (
+	recoveryProbePeriod = 200_000        // 100 µs at 2 GHz
+	recoveryProbeCap    = 50_000_000_000 // 25 s at 2 GHz
+)
+
+// Injector owns a run's installed faults: the per-NIC wire-fault
+// composites and the engine events driving window transitions. Build
+// one with Attach at machine-assembly time, before the engine runs.
+type Injector struct {
+	eng        *sim.Engine
+	rec        *trace.Recorder
+	nics       []*netdev.NIC
+	io         *apic.IOAPIC
+	recoveries []uint64
+	probing    int
+}
+
+// Attach installs the schedule on the machine: wire-fault composites
+// on every targeted NIC, plus engine events for flap, stall and storm
+// transitions. The schedule must already be validated. An empty
+// schedule returns nil without touching anything — the clean baseline
+// schedules no events and draws no randomness.
+func Attach(s *Schedule, eng *sim.Engine, rec *trace.Recorder, nics []*netdev.NIC, io *apic.IOAPIC) *Injector {
+	if s.Empty() {
+		return nil
+	}
+	inj := &Injector{eng: eng, rec: rec, nics: nics, io: io}
+	wires := make([]*nicFaults, len(nics))
+	for i := range s.Events {
+		e := &s.Events[i]
+		for _, n := range inj.targets(e) {
+			if wireKind(e.Kind) {
+				if wires[n] == nil {
+					wires[n] = &nicFaults{}
+				}
+				wires[n].events = append(wires[n].events, &wireEvent{ev: e})
+				inj.traceAt(e.From, -1, string(e.Kind)+"-on", n, 0)
+				if e.Until != 0 {
+					inj.traceAt(e.Until, -1, string(e.Kind)+"-off", n, 0)
+				}
+				continue
+			}
+			inj.schedule(e, n)
+		}
+	}
+	for n, w := range wires {
+		if w != nil {
+			nics[n].SetWireFault(w)
+		}
+	}
+	return inj
+}
+
+// targets expands an event's NIC field: -1 means every device.
+func (inj *Injector) targets(e *Event) []int {
+	if e.NIC >= 0 {
+		return []int{e.NIC}
+	}
+	all := make([]int, len(inj.nics))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// traceAt emits a fault timeline instant at virtual time t. Nothing is
+// scheduled when tracing is off, keeping traced and untraced runs
+// identical in event count only for the clean baseline — faulted runs
+// are compared against faulted runs of the same trace setting.
+func (inj *Injector) traceAt(t uint64, cpu int, kind string, nic int, arg int64) {
+	if !inj.rec.Enabled() {
+		return
+	}
+	inj.eng.At(sim.Time(t), func() {
+		inj.rec.Fault(inj.eng.Now(), cpu, kind, nic, arg)
+	})
+}
+
+// schedule installs the engine events for one non-wire fault on NIC n.
+func (inj *Injector) schedule(e *Event, n int) {
+	switch e.Kind {
+	case KindFlap:
+		nic := inj.nics[n]
+		inj.eng.At(sim.Time(e.From), func() {
+			nic.SetLinkUp(false)
+			inj.rec.Fault(inj.eng.Now(), -1, "flap-down", n, 0)
+		})
+		if e.Until != 0 {
+			inj.eng.At(sim.Time(e.Until), func() {
+				nic.SetLinkUp(true)
+				inj.rec.Fault(inj.eng.Now(), -1, "flap-up", n, 0)
+				inj.probeRecovery(nic, n, inj.eng.Now())
+			})
+		}
+	case KindStall:
+		nic := inj.nics[n]
+		inj.eng.At(sim.Time(e.From), func() {
+			nic.SetDMAStalled(true)
+			inj.rec.Fault(inj.eng.Now(), -1, "dma-stall", n, 0)
+		})
+		if e.Until != 0 {
+			inj.eng.At(sim.Time(e.Until), func() {
+				nic.SetDMAStalled(false)
+				inj.rec.Fault(inj.eng.Now(), -1, "dma-resume", n, 0)
+			})
+		}
+	case KindStorm:
+		vec := inj.nics[n].QueueVector(0)
+		period := sim.Cycles(e.PeriodCycles)
+		var tick func()
+		tick = func() {
+			now := inj.eng.Now()
+			if e.Until != 0 && uint64(now) >= e.Until {
+				inj.rec.Fault(now, e.CPU, "storm-end", -1, int64(vec))
+				return
+			}
+			inj.io.InjectSpurious(e.CPU, vec)
+			inj.eng.After(period, tick)
+		}
+		inj.eng.At(sim.Time(e.From), func() {
+			inj.rec.Fault(inj.eng.Now(), e.CPU, "storm-start", -1, int64(vec))
+			tick()
+		})
+	}
+}
+
+// probeRecovery polls the revived link until traffic moves again,
+// recording the gap between link-up and the first frame in either
+// direction — the stack's recovery time (retransmission timers firing,
+// the window reopening).
+func (inj *Injector) probeRecovery(nic *netdev.NIC, n int, up sim.Time) {
+	base := nic.TxFrames + nic.RxFrames
+	inj.probing++
+	var poll func()
+	poll = func() {
+		now := inj.eng.Now()
+		if nic.TxFrames+nic.RxFrames > base {
+			d := uint64(now - up)
+			inj.recoveries = append(inj.recoveries, d)
+			inj.probing--
+			inj.rec.Fault(now, -1, "flap-recovered", n, int64(d))
+			return
+		}
+		if uint64(now-up) >= recoveryProbeCap {
+			inj.probing--
+			return
+		}
+		inj.eng.After(recoveryProbePeriod, poll)
+	}
+	inj.eng.After(recoveryProbePeriod, poll)
+}
+
+// Recoveries returns the completed flap-recovery durations in cycles,
+// in link-up order. A flap whose traffic never resumed (or whose
+// probe is still polling) contributes nothing.
+func (inj *Injector) Recoveries() []uint64 {
+	if inj == nil {
+		return nil
+	}
+	return inj.recoveries
+}
+
+// wireEvent is one loss/burst/delay event plus its mutable chain
+// state; nicFaults composes every wire event targeting one NIC into
+// the netdev.WireFault the device consults per frame.
+type wireEvent struct {
+	ev  *Event
+	bad bool // Gilbert-Elliott state
+}
+
+type nicFaults struct {
+	events []*wireEvent
+}
+
+func (w *wireEvent) active(now sim.Time) bool {
+	t := uint64(now)
+	return t >= w.ev.From && (w.ev.Until == 0 || t < w.ev.Until)
+}
+
+// Drop consults every active loss event for this frame. All events are
+// evaluated — burst chains advance once per observed frame regardless
+// of whether an earlier event already doomed it — so the random stream
+// consumed is a pure function of the frame sequence.
+func (w *nicFaults) Drop(now sim.Time, rng *sim.RNG, rx bool) bool {
+	drop := false
+	for _, e := range w.events {
+		if !e.active(now) {
+			continue
+		}
+		switch e.ev.Kind {
+		case KindLoss:
+			if rng.Bernoulli(e.ev.Rate) {
+				drop = true
+			}
+		case KindBurst:
+			if e.bad {
+				if rng.Bernoulli(e.ev.PExitBad) {
+					e.bad = false
+				}
+			} else {
+				if rng.Bernoulli(e.ev.PEnterBad) {
+					e.bad = true
+				}
+			}
+			p := e.ev.Rate
+			if e.bad {
+				p = e.ev.BadRate
+			}
+			if rng.Bernoulli(p) {
+				drop = true
+			}
+		}
+	}
+	return drop
+}
+
+// ExtraDelay sums the active delay events' contributions: the fixed
+// component plus a uniform draw in [0, jitter]. Frames with unequal
+// draws reorder, bounded by the jitter window.
+func (w *nicFaults) ExtraDelay(now sim.Time, rng *sim.RNG, rx bool) uint64 {
+	var d uint64
+	for _, e := range w.events {
+		if !e.active(now) || e.ev.Kind != KindDelay {
+			continue
+		}
+		d += e.ev.DelayCycles
+		if j := e.ev.JitterCycles; j > 0 {
+			d += rng.Uint64() % (j + 1)
+		}
+	}
+	return d
+}

@@ -363,7 +363,7 @@ func TestXmitBlockingSleepsUntilRingSpace(t *testing.T) {
 // the peer; LossRate 0 never drops.
 func TestWireLossCountsAndDrops(t *testing.T) {
 	r := newRig(t)
-	r.n.SetLossRate(1.0) // drop everything
+	r.n.cfg.LossRate = 1.0 // drop everything (loss is construction-time config; tests may poke)
 	r.eng.At(1000, func() {
 		for i := 0; i < 5; i++ {
 			r.n.InjectFromWire(WireFrame{Conn: 1, Len: 1460})

@@ -61,6 +61,21 @@ func DefaultNICConfig(vec apic.Vector) NICConfig {
 	}
 }
 
+// WireFault perturbs frames crossing the wire. The fault layer
+// (internal/fault) installs one per NIC when a schedule targets it;
+// a nil hook is the clean link. Implementations must draw all
+// randomness from the supplied engine RNG so faulted runs stay
+// bit-reproducible, and must not schedule events or charge cycles.
+type WireFault interface {
+	// Drop reports whether the frame entering the wire right now is
+	// lost. rx is true for frames toward the SUT.
+	Drop(now sim.Time, rng *sim.RNG, rx bool) bool
+	// ExtraDelay returns additional propagation delay in cycles for a
+	// surviving frame; per-frame jitter here produces (bounded)
+	// reordering at the receiver.
+	ExtraDelay(now sim.Time, rng *sim.RNG, rx bool) uint64
+}
+
 // NIC is one simulated gigabit adapter.
 type NIC struct {
 	d   *Driver
@@ -89,13 +104,37 @@ type NIC struct {
 	rxBusyUntil sim.Time
 	txActive    bool
 
+	// Frames serialized but whose delivery event has not yet run, per
+	// direction (see WireInFlight).
+	rxWireInFlight int
+	txWireInFlight int
+
+	// Fault state (internal/fault). All zero on a healthy device.
+	wireFault  WireFault
+	linkDown   bool
+	dmaStalled bool
+	// stallQ holds frames that finished wire serialization while the DMA
+	// engine was stalled; they fill ring slots in arrival order when the
+	// stall lifts (overflowing slots count in RxDropped as usual).
+	stallQ []stalledFill
+
 	// Stats.
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	RxDropped          uint64
-	// WireDrops counts frames lost on the link (LossRate).
-	WireDrops  uint64
-	IRQsRaised uint64
+	// WireDrops counts frames lost on the link (LossRate, injected
+	// faults, link-down windows).
+	WireDrops uint64
+	// LinkDownDrops is the subset of WireDrops lost to link flaps.
+	LinkDownDrops uint64
+	// StallDeferred counts frames parked by a DMA stall.
+	StallDeferred uint64
+	IRQsRaised    uint64
+}
+
+type stalledFill struct {
+	q *rxQueue
+	f WireFrame
 }
 
 // rxQueue is one RSS queue: its ring, interrupt vector and per-queue
@@ -194,8 +233,39 @@ func (n *NIC) Vector() apic.Vector { return n.cfg.Vector }
 // SetPeer attaches the far end of the link.
 func (n *NIC) SetPeer(p Peer) { n.peer = p }
 
-// SetLossRate changes the link's frame-loss probability at runtime.
-func (n *NIC) SetLossRate(p float64) { n.cfg.LossRate = p }
+// SetWireFault installs (or, with nil, removes) the per-frame fault
+// hook. Loss and delay configuration otherwise comes only from
+// NICConfig at construction, so a device's wire behaviour is always
+// visible to the result-cache fingerprint.
+func (n *NIC) SetWireFault(wf WireFault) { n.wireFault = wf }
+
+// SetLinkUp raises or drops the link carrier. While the link is down
+// every frame entering the wire (both directions) is lost; frames
+// already propagating were on the wire before the cut and still arrive.
+func (n *NIC) SetLinkUp(up bool) { n.linkDown = !up }
+
+// LinkUp reports the carrier state.
+func (n *NIC) LinkUp() bool { return !n.linkDown }
+
+// SetDMAStalled freezes (true) or resumes (false) the receive DMA
+// engine. Stalled frames that have finished wire serialization queue in
+// arrival order and fill ring slots when the stall lifts.
+func (n *NIC) SetDMAStalled(stalled bool) {
+	if n.dmaStalled == stalled {
+		return
+	}
+	n.dmaStalled = stalled
+	if !stalled {
+		pend := n.stallQ
+		n.stallQ = nil
+		for _, s := range pend {
+			n.dmaFill(s.q, s.f)
+		}
+	}
+}
+
+// DMAStalled reports whether the receive DMA engine is frozen.
+func (n *NIC) DMAStalled() bool { return n.dmaStalled }
 
 // SetCoalesce changes the interrupt-throttle window at runtime
 // (ethtool-style tuning).
@@ -221,6 +291,41 @@ func (n *NIC) RxPosted() int {
 		total += q.ring.posted()
 	}
 	return total
+}
+
+// RxResident reports every receive buffer the device currently holds:
+// posted (awaiting DMA) plus filled (awaiting softirq clean), across
+// all queues. Invariant checks use it for buffer conservation.
+func (n *NIC) RxResident() int {
+	total := 0
+	for _, q := range n.queues {
+		total += q.ring.posted() + q.ring.pendingClean()
+	}
+	return total
+}
+
+// StallQueued reports frames parked by an active DMA stall.
+func (n *NIC) StallQueued() int { return len(n.stallQ) }
+
+// TxResident reports transmit requests still inside the device (queued,
+// on the wire, or awaiting clean).
+func (n *NIC) TxResident() int {
+	return len(n.txRing.queued) + len(n.txRing.doneStage) + len(n.txRing.done)
+}
+
+// ForEachTxCookie invokes fn with the caller-supplied cookie of every
+// transmit request still resident in the device. Invariant checks use
+// it to attribute in-flight buffers to their pools.
+func (n *NIC) ForEachTxCookie(fn func(cookie any)) {
+	for _, e := range n.txRing.queued {
+		fn(e.req.Cookie)
+	}
+	for _, e := range n.txRing.doneStage {
+		fn(e.req.Cookie)
+	}
+	for _, e := range n.txRing.done {
+		fn(e.req.Cookie)
+	}
 }
 
 func (n *NIC) eng() *sim.Engine { return n.d.k.Eng }
@@ -271,15 +376,42 @@ func (n *NIC) transmitNext() {
 		n.TxFrames++
 		n.TxBytes += uint64(req.Frame.Len)
 		n.d.k.Trace.NICDMA(eng.Now(), n.id, false, req.Frame.Len)
-		if n.peer != nil && !eng.RNG().Bernoulli(n.cfg.LossRate) {
-			f := req.Frame
-			eng.After(n.cfg.WireLatencyCycles, func() { n.peer.ToPeer(f) })
-		} else if n.peer != nil {
-			n.WireDrops++
+		if n.peer != nil {
+			if n.dropOnWire(false) {
+				n.WireDrops++
+			} else {
+				f := req.Frame
+				delay := n.cfg.WireLatencyCycles
+				if n.wireFault != nil {
+					delay += n.wireFault.ExtraDelay(eng.Now(), eng.RNG(), false)
+				}
+				n.txWireInFlight++
+				eng.After(delay, func() {
+					n.txWireInFlight--
+					n.peer.ToPeer(f)
+				})
+			}
 		}
 		n.maybeRaiseIRQ(n.queues[0])
 		n.transmitNext()
 	})
+}
+
+// WireInFlight reports frames serialized onto the simulated wire (in
+// either direction) whose delivery event has not yet run. The quiesce
+// check needs it: a go-back sender's rewound snd_nxt can make both
+// endpoints look idle while kilobytes of duplicates are still queued
+// against the link.
+func (n *NIC) WireInFlight() int { return n.rxWireInFlight + n.txWireInFlight }
+
+// RxPendingClean reports filled receive descriptors awaiting softirq
+// service across all queues.
+func (n *NIC) RxPendingClean() int {
+	total := 0
+	for _, q := range n.queues {
+		total += q.ring.pendingClean()
+	}
+	return total
 }
 
 // InjectFromWire is called by the peer to send a frame toward the SUT.
@@ -294,36 +426,70 @@ func (n *NIC) InjectFromWire(f WireFrame) {
 	}
 	done := start + sim.Time(n.serialCycles(f.WireBytes()))
 	n.rxBusyUntil = done
-	if eng.RNG().Bernoulli(n.cfg.LossRate) {
+	if n.dropOnWire(true) {
 		n.WireDrops++
 		return
 	}
+	if n.wireFault != nil {
+		done += sim.Time(n.wireFault.ExtraDelay(eng.Now(), eng.RNG(), true))
+	}
 	q := n.queueFor(f.Conn)
+	n.rxWireInFlight++
 	eng.At(done, func() {
-		slot, ok := q.ring.fill(f)
-		if !ok {
-			n.RxDropped++
-			return
-		}
-		// Receive DMA: descriptor and payload lines now live in memory
-		// only; the first CPU touch of each is necessarily a miss.
-		n.d.k.Dir.DMAWrite(mem.LineOf(slot.descAddr))
-		if f.Len > 0 {
-			first := mem.LineOf(slot.buf)
-			last := mem.LineOf(slot.buf + mem.Addr(f.Len) - 1)
-			for line := first; ; line += mem.LineSize {
-				n.d.k.Dir.DMAWrite(line)
-				if line == last {
-					break
-				}
+		n.rxWireInFlight--
+		n.dmaFill(q, f)
+	})
+}
+
+// dropOnWire decides the fate of a frame entering the wire: link-down
+// windows lose everything, then the uniform LossRate, then the
+// installed fault hook. On a healthy zero-loss device this makes no RNG
+// draw (Bernoulli(0) returns without drawing), so the baseline random
+// stream is untouched.
+func (n *NIC) dropOnWire(rx bool) bool {
+	if n.linkDown {
+		n.LinkDownDrops++
+		return true
+	}
+	eng := n.eng()
+	if eng.RNG().Bernoulli(n.cfg.LossRate) {
+		return true
+	}
+	return n.wireFault != nil && n.wireFault.Drop(eng.Now(), eng.RNG(), rx)
+}
+
+// dmaFill lands a received frame in a ring slot (or the stall queue
+// while the DMA engine is frozen) and performs the DMA-write coherence
+// traffic.
+func (n *NIC) dmaFill(q *rxQueue, f WireFrame) {
+	if n.dmaStalled {
+		n.StallDeferred++
+		n.stallQ = append(n.stallQ, stalledFill{q: q, f: f})
+		return
+	}
+	slot, ok := q.ring.fill(f)
+	if !ok {
+		n.RxDropped++
+		return
+	}
+	// Receive DMA: descriptor and payload lines now live in memory
+	// only; the first CPU touch of each is necessarily a miss.
+	n.d.k.Dir.DMAWrite(mem.LineOf(slot.descAddr))
+	if f.Len > 0 {
+		first := mem.LineOf(slot.buf)
+		last := mem.LineOf(slot.buf + mem.Addr(f.Len) - 1)
+		for line := first; ; line += mem.LineSize {
+			n.d.k.Dir.DMAWrite(line)
+			if line == last {
+				break
 			}
 		}
-		n.RxFrames++
-		n.RxBytes += uint64(f.Len)
-		n.d.k.Trace.NICDMA(eng.Now(), n.id, true, f.Len)
-		q.rxFrames++
-		n.maybeRaiseIRQ(q)
-	})
+	}
+	n.RxFrames++
+	n.RxBytes += uint64(f.Len)
+	n.d.k.Trace.NICDMA(n.eng().Now(), n.id, true, f.Len)
+	q.rxFrames++
+	n.maybeRaiseIRQ(q)
 }
 
 // RxBusyUntil reports when the inbound link side frees up; peers use it

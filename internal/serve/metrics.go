@@ -21,6 +21,7 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 60
 type metrics struct {
 	mu       sync.Mutex
 	requests map[[2]string]uint64 // {path, code} -> count
+	panics   map[string]uint64    // path -> recovered panics
 	buckets  []uint64
 	count    uint64
 	sum      float64
@@ -29,8 +30,16 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[[2]string]uint64),
+		panics:   make(map[string]uint64),
 		buckets:  make([]uint64, len(latencyBuckets)),
 	}
+}
+
+// panicked records one recovered panic attributed to path.
+func (m *metrics) panicked(path string) {
+	m.mu.Lock()
+	m.panics[path]++
+	m.mu.Unlock()
 }
 
 // observe records one finished request.
@@ -79,6 +88,19 @@ func (m *metrics) write(w http.ResponseWriter, s *Server) {
 	fmt.Fprintf(&b, "affinity_request_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
 	fmt.Fprintf(&b, "affinity_request_seconds_sum %g\n", m.sum)
 	fmt.Fprintf(&b, "affinity_request_seconds_count %d\n", m.count)
+	fmt.Fprintf(&b, "# HELP affinity_panics_total Panics recovered by the request middleware, by path.\n")
+	fmt.Fprintf(&b, "# TYPE affinity_panics_total counter\n")
+	ppaths := make([]string, 0, len(m.panics))
+	for p := range m.panics {
+		ppaths = append(ppaths, p)
+	}
+	sort.Strings(ppaths)
+	for _, p := range ppaths {
+		fmt.Fprintf(&b, "affinity_panics_total{path=%q} %d\n", p, m.panics[p])
+	}
+	if len(ppaths) == 0 {
+		fmt.Fprintf(&b, "affinity_panics_total 0\n")
+	}
 	m.mu.Unlock()
 
 	cs := s.cache.Stats()

@@ -19,6 +19,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/topo"
 	"repro/internal/ttcp"
 )
@@ -116,15 +118,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Cache returns the server's result cache (for stats in callers).
 func (s *Server) Cache() *cache.Cache { return s.cache }
 
-// statusWriter captures the status code for metrics.
+// statusWriter captures the status code (for metrics) and whether any
+// response bytes went out (so panic recovery knows if a 500 can still
+// be written).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {
@@ -133,16 +144,28 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with latency/status accounting and the
-// per-request timeout.
+// instrument wraps a handler with latency/status accounting, the
+// per-request timeout, and panic recovery: a handler (or simulator)
+// panic becomes one failed request — a 500 if the response has not
+// started, a dropped connection if it has — and a tick of
+// affinity_panics_total, never a dead server process.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicked(path)
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+				}
+			}
+			s.metrics.observe(path, sw.code, time.Since(start))
+		}()
 		h(sw, r.WithContext(ctx))
-		s.metrics.observe(path, sw.code, time.Since(start))
 	}
 }
 
@@ -171,6 +194,50 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// fieldError is a request-validation failure attributable to one JSON
+// field; badRequest surfaces the field name in the error body so
+// clients can map the 400 back to their input.
+type fieldError struct {
+	field string
+	err   error
+}
+
+func (e *fieldError) Error() string { return fmt.Sprintf("%s: %v", e.field, e.err) }
+func (e *fieldError) Unwrap() error { return e.err }
+
+func fieldErrf(field, format string, args ...any) error {
+	return &fieldError{field: field, err: fmt.Errorf(format, args...)}
+}
+
+// badRequest renders a validation error as a 400. Field-attributable
+// failures carry a "field" key alongside "error".
+func badRequest(w http.ResponseWriter, err error) {
+	var fe *fieldError
+	if !errors.As(err, &fe) {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fe.Error(),
+		"field": fe.field,
+	})
+}
+
+// runSafe executes one cell, converting a simulator panic into an
+// error (and a tick of affinity_panics_total) instead of a dead
+// worker goroutine.
+func (s *Server) runSafe(path string, cfg core.Config) (res *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.panicked(path)
+			res, err = nil, fmt.Errorf("simulation panicked: %v", v)
+		}
+	}()
+	return s.run(cfg), nil
+}
+
 // RunRequest is the JSON body of POST /v1/run and the base of /v1/sweep.
 // Zero values select the paper's defaults. Mode, direction and policy
 // accept exactly the CLI's spellings (core.ParseMode and friends).
@@ -197,6 +264,12 @@ type RunRequest struct {
 	// Quick selects the figure generator's -quick windows when explicit
 	// cycles are not given.
 	Quick bool `json:"quick"`
+
+	// Faults is an inline fault-schedule spec (fault.Parse syntax, e.g.
+	// "flap,nic=0,from=1e9,until=1.5e9;loss,rate=0.01"), validated
+	// against the machine shape and run horizon. Empty means the clean
+	// baseline.
+	Faults string `json:"faults"`
 }
 
 // config resolves the request into a validated core.Config.
@@ -205,7 +278,7 @@ func (rq RunRequest) config() (core.Config, error) {
 	if rq.Mode != "" {
 		m, err := core.ParseMode(rq.Mode)
 		if err != nil {
-			return core.Config{}, err
+			return core.Config{}, &fieldError{field: "mode", err: err}
 		}
 		mode = m
 	}
@@ -213,7 +286,7 @@ func (rq RunRequest) config() (core.Config, error) {
 	if rq.Dir != "" {
 		d, err := core.ParseDirection(rq.Dir)
 		if err != nil {
-			return core.Config{}, err
+			return core.Config{}, &fieldError{field: "dir", err: err}
 		}
 		dir = d
 	}
@@ -222,7 +295,7 @@ func (rq RunRequest) config() (core.Config, error) {
 		size = 65536
 	}
 	if size < 0 {
-		return core.Config{}, fmt.Errorf("size must be positive, got %d", size)
+		return core.Config{}, fieldErrf("size", "must be positive, got %d", size)
 	}
 	cfg := core.DefaultConfig(mode, dir, size)
 	if rq.Seed != 0 {
@@ -258,14 +331,28 @@ func (rq RunRequest) config() (core.Config, error) {
 	if rq.Policy != "" {
 		pol, err := core.ParsePolicy(rq.Policy)
 		if err != nil {
-			return core.Config{}, err
+			return core.Config{}, &fieldError{field: "policy", err: err}
 		}
 		cfg.Policy = pol
 	}
-	// The only shape gate: impossible topologies surface here as 400s,
-	// not as mid-simulation panics.
+	// Shape gate: impossible topologies surface here as 400s, not as
+	// mid-simulation panics.
 	if _, err := core.PlanFor(cfg); err != nil {
 		return core.Config{}, fmt.Errorf("impossible shape: %w", err)
+	}
+	if rq.Faults != "" {
+		sched, err := fault.Parse(rq.Faults)
+		if err != nil {
+			return core.Config{}, &fieldError{field: "faults", err: err}
+		}
+		t := cfg.Topo()
+		horizon := cfg.WarmupCycles + cfg.MeasureCycles
+		if err := sched.Validate(len(t.NICs), t.NumCPUs, horizon); err != nil {
+			return core.Config{}, &fieldError{field: "faults", err: err}
+		}
+		if !sched.Empty() {
+			cfg.Faults = sched
+		}
 	}
 	return cfg, nil
 }
@@ -289,22 +376,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := rq.config()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		badRequest(w, err)
 		return
 	}
 	release := s.acquire(w, r)
 	if release == nil {
 		return
 	}
-	done := make(chan *core.Result, 1)
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
 	go func() {
 		defer release()
-		done <- s.run(cfg)
+		res, err := s.runSafe("/v1/run", cfg)
+		done <- outcome{res, err}
 	}()
 	select {
-	case res := <-done:
+	case o := <-done:
+		if o.err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", o.err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		out, err := res.JSON()
+		out, err := o.res.JSON()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "encoding result: %v", err)
 			return
@@ -333,7 +429,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	base, err := rq.config()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		badRequest(w, err)
 		return
 	}
 	sizes := rq.Sizes
@@ -346,7 +442,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, ms := range rq.Modes {
 			m, err := core.ParseMode(ms)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
+				badRequest(w, &fieldError{field: "modes", err: err})
 				return
 			}
 			modes = append(modes, m)
@@ -355,7 +451,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var cfgs []core.Config
 	for _, size := range sizes {
 		if size <= 0 {
-			httpError(w, http.StatusBadRequest, "size must be positive, got %d", size)
+			badRequest(w, fieldErrf("sizes", "size must be positive, got %d", size))
 			return
 		}
 		for _, mode := range modes {
@@ -381,7 +477,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer release()
 		s.runner.Do(len(cfgs), func(i int) {
-			out[i] = s.run(cfgs[i])
+			// A panicking cell leaves a nil slot; the stream ends there
+			// rather than skipping it, so truncation signals the failure.
+			out[i], _ = s.runSafe("/v1/sweep", cfgs[i])
 			close(ready[i])
 		})
 	}()
@@ -395,6 +493,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			// Client gone or timed out: stop streaming. In-flight cells
 			// finish in the background and populate the cache.
+			return
+		}
+		if out[i] == nil {
 			return
 		}
 		if err := enc.Encode(out[i].Export()); err != nil {

@@ -322,3 +322,125 @@ func TestLimiterSheds(t *testing.T) {
 		t.Errorf("blocked leader should time out, got %q", first)
 	}
 }
+
+// TestFieldLevel400s pins the structured validation errors: each bad
+// field yields a 400 whose JSON body names the offending field, so
+// clients can map the failure back to their input without parsing
+// prose.
+func TestFieldLevel400s(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for name, tc := range map[string]struct {
+		body  string
+		field string
+	}{
+		"unknown mode":      {`{"mode":"sideways"}`, "mode"},
+		"unknown dir":       {`{"dir":"up"}`, "dir"},
+		"unknown policy":    {`{"policy":"chaos"}`, "policy"},
+		"negative size":     {`{"size":-5}`, "size"},
+		"malformed faults":  {`{"faults":"flap,nic=banana"}`, "faults"},
+		"unknown fault":     {`{"faults":"gremlin,rate=0.5"}`, "faults"},
+		"fault nic range":   {`{"faults":"flap,nic=99,until=1e6"}`, "faults"},
+		"fault past window": {tinyBody(`,"faults":"flap,from=1e12,until=2e12"`), "faults"},
+		"empty fault rate":  {`{"faults":"loss,rate=0"}`, "faults"},
+	} {
+		code, resp := post(t, ts.URL+"/v1/run", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, code, resp)
+			continue
+		}
+		var body struct {
+			Error string `json:"error"`
+			Field string `json:"field"`
+		}
+		if err := json.Unmarshal([]byte(resp), &body); err != nil {
+			t.Errorf("%s: 400 body is not JSON: %v (%s)", name, err, resp)
+			continue
+		}
+		if body.Field != tc.field {
+			t.Errorf("%s: field = %q (%s), want %q", name, body.Field, resp, tc.field)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+}
+
+// TestRunWithFaults exercises the fault plumbing end to end over HTTP:
+// a lossy cell must report degradation metrics and a clean invariant
+// verdict, and must differ from the clean baseline's result.
+func TestRunWithFaults(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	code, cleanBody := post(t, ts.URL+"/v1/run", tinyBody(""))
+	if code != http.StatusOK {
+		t.Fatalf("clean run: status %d (%s)", code, cleanBody)
+	}
+	code, faultBody := post(t, ts.URL+"/v1/run", tinyBody(`,"faults":"loss,rate=0.005"`))
+	if code != http.StatusOK {
+		t.Fatalf("faulted run: status %d (%s)", code, faultBody)
+	}
+	if faultBody == cleanBody {
+		t.Error("faulted response identical to clean baseline")
+	}
+	var out struct {
+		WireDrops         uint64  `json:"wire_drops"`
+		GoodputRatio      float64 `json:"goodput_ratio"`
+		InvariantsChecked bool    `json:"invariants_checked"`
+		InvariantBad      string  `json:"invariant_violation"`
+	}
+	if err := json.Unmarshal([]byte(faultBody), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WireDrops == 0 {
+		t.Error("lossy run reported zero wire drops")
+	}
+	if !out.InvariantsChecked || out.InvariantBad != "" {
+		t.Errorf("invariants: checked=%v violation=%q", out.InvariantsChecked, out.InvariantBad)
+	}
+	if out.GoodputRatio <= 0 || out.GoodputRatio >= 1 {
+		t.Errorf("goodput ratio %g outside (0,1)", out.GoodputRatio)
+	}
+}
+
+// TestPanicRecovery pins the middleware: a panicking simulation
+// becomes a 500 with a JSON error and a tick of affinity_panics_total;
+// the server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	stub := func(cfg core.Config) *core.Result {
+		if cfg.Seed == 99 {
+			panic("injected test panic")
+		}
+		cfg.WarmupCycles, cfg.MeasureCycles = tinyWarmup, tinyMeasure
+		return core.Run(cfg)
+	}
+	srv := New(Options{Runner: core.NewRunner(1), Run: stub})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, resp := post(t, ts.URL+"/v1/run", `{"seed":99}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking run: status %d (%s), want 500", code, resp)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(resp), &body); err != nil {
+		t.Fatalf("500 body is not JSON: %v (%s)", err, resp)
+	}
+	if !strings.Contains(body.Error, "injected test panic") {
+		t.Errorf("error %q does not surface the panic value", body.Error)
+	}
+
+	// The server survives and still serves good requests.
+	code, resp = post(t, ts.URL+"/v1/run", tinyBody(""))
+	if code != http.StatusOK {
+		t.Fatalf("post-panic run: status %d (%s)", code, resp)
+	}
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsBody, `affinity_panics_total{path="/v1/run"} 1`) {
+		t.Errorf("metrics missing panic counter:\n%s", metricsBody)
+	}
+	if !strings.Contains(metricsBody, `affinity_requests_total{path="/v1/run",code="500"} 1`) {
+		t.Errorf("metrics missing 500 count")
+	}
+}

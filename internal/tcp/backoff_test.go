@@ -1,0 +1,120 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+	"repro/internal/sim"
+)
+
+// blackhole is a togglable total-loss WireFault: while on, every frame
+// in both directions vanishes.
+type blackhole struct{ on bool }
+
+func (b *blackhole) Drop(now sim.Time, rng *sim.RNG, rx bool) bool         { return b.on }
+func (b *blackhole) ExtraDelay(now sim.Time, rng *sim.RNG, rx bool) uint64 { return 0 }
+
+// Consecutive retransmission timeouts must double the RTO up to the
+// cap, and a forward ACK must reset it — otherwise a long outage
+// retransmits at a fixed rate forever, and a recovered link inherits
+// a huge timeout. RTO values are multiples of the 20M-cycle timer
+// tick: the wheel only fires on ticks, so sub-tick RTOs would be
+// quantization noise.
+func TestRetransTimerExponentialBackoff(t *testing.T) {
+	const (
+		rtoInit = 40_000_000  // 2 ticks
+		rtoMax  = 160_000_000 // 8 ticks
+	)
+	cfg := DefaultConfig()
+	cfg.RTOInitCycles = rtoInit
+	cfg.RTOMaxCycles = rtoMax
+	r := newRig(t, cfg)
+	hole := &blackhole{}
+	r.nic.SetWireFault(hole)
+
+	userBuf := r.k.Space.AllocPage(64<<10, "userbuf")
+	r.k.Spawn("tx", 0, 0, func(e *kern.Env) {
+		r.s.Write(e, userBuf, 2920) // two full segments, no Nagle tail
+	})
+	// Let the transfer complete cleanly first so the connection is
+	// quiescent with backoff 0.
+	r.eng.Run(10_000_000)
+	if r.s.RTOBackoff() != 0 || r.s.InFlight() != 0 {
+		t.Fatalf("clean transfer left backoff=%d inflight=%d", r.s.RTOBackoff(), r.s.InFlight())
+	}
+
+	// Black-hole the wire and send one more segment: every retransmit
+	// is lost, so each expiry doubles the timeout until the cap.
+	hole.on = true
+	r.k.Spawn("tx2", 0, 0, func(e *kern.Env) {
+		r.s.Write(e, userBuf, 1460)
+	})
+	r.eng.Run(r.eng.Now() + 200_000)
+	if got := r.s.CurrentRTO(); got != rtoInit {
+		t.Fatalf("fresh transmission RTO = %d, want %d", got, rtoInit)
+	}
+	rexmits := r.s.Retransmits
+	prevGap := sim.Time(0)
+	sawCap := false
+	for i := 0; i < 6; i++ {
+		start := r.eng.Now()
+		for r.s.Retransmits == rexmits {
+			r.eng.Run(r.eng.Now() + 1_000_000)
+			if r.eng.Now()-start > 3*rtoMax {
+				t.Fatalf("retransmission %d never happened", i)
+			}
+		}
+		rexmits = r.s.Retransmits
+		gap := r.eng.Now() - start
+		if prevGap != 0 {
+			switch {
+			case prevGap < rtoMax-20_000_000 && gap < prevGap*3/2:
+				// Below the cap each expiry roughly doubles the previous
+				// gap (tick quantization makes exact equality too strict).
+				t.Fatalf("retransmission %d after %d cycles, previous gap %d — no backoff", i, gap, prevGap)
+			case gap > rtoMax+40_000_000:
+				t.Fatalf("retransmission %d after %d cycles — beyond the %d cap", i, gap, int64(rtoMax))
+			}
+			if gap > rtoMax-20_000_000 {
+				sawCap = true
+			}
+		}
+		prevGap = gap
+	}
+	if !sawCap {
+		t.Fatal("backoff never reached the cap")
+	}
+	if r.s.RTOBackoff() == 0 {
+		t.Fatal("backoff counter still zero after timeouts")
+	}
+
+	// Heal the wire: the next successful retransmission's ACK resets
+	// the backoff and the RTO returns to the initial value.
+	hole.on = false
+	start := r.eng.Now()
+	for r.s.InFlight() > 0 {
+		r.eng.Run(r.eng.Now() + 1_000_000)
+		if r.eng.Now()-start > 4*rtoMax {
+			t.Fatalf("transfer never completed after healing (inflight=%d)", r.s.InFlight())
+		}
+	}
+	if r.s.RTOBackoff() != 0 {
+		t.Fatalf("forward ACK did not reset backoff (still %d)", r.s.RTOBackoff())
+	}
+	if got := r.s.CurrentRTO(); got != rtoInit {
+		t.Fatalf("post-recovery RTO = %d, want %d", got, rtoInit)
+	}
+	if err := r.st.Pool.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero-valued RTO config fields keep the historical 200 ms behaviour.
+func TestRTODefaultsWhenUnset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTOInitCycles, cfg.RTOMaxCycles = 0, 0
+	r := newRig(t, cfg)
+	if got := r.s.CurrentRTO(); got != DefaultRTOInitCycles {
+		t.Fatalf("default RTO = %d, want %d", got, DefaultRTOInitCycles)
+	}
+}

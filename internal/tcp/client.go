@@ -28,6 +28,13 @@ type Client struct {
 	active bool
 	sndNxt uint64
 	sndUna uint64
+	// sndMax is the send high-water mark. A go-back rewinds sndNxt but
+	// not sndMax: the bytes in [sndNxt, sndMax) were handed to the wire
+	// and the receiver may hold them, so the client still owes their
+	// (re)transmission even after StopSource — otherwise a rewind just
+	// before shutdown would strand the receiver ahead of the sender's
+	// own sequence accounting.
+	sndMax uint64
 	sutWnd int
 	// backlogBytes are one-shot bytes queued by SendBytes (request/
 	// response workloads), drained by pump alongside continuous mode.
@@ -38,6 +45,17 @@ type Client struct {
 
 	dupAcks    int
 	watchArmed bool
+	// recoverSeq guards the go-back path: after a rewind, further
+	// duplicate ACKs are ignored until the ack point passes the old
+	// snd_nxt. Without it every dup-ACK train re-floods the whole window
+	// onto the wire — under sustained burst loss the queued duplicates
+	// grow without bound (a real sender's congestion control prevents
+	// this; the ideal client needs at least the recover-point guard).
+	recoverSeq uint64
+
+	// pending counts frames delivered by ToPeer whose processing event
+	// has not yet run (the quiesce check needs to see them).
+	pending int
 
 	// Stats.
 	BytesReceived uint64
@@ -56,6 +74,7 @@ func newClient(st *Stack, conn int, nic *netdev.NIC) *Client {
 		rcvNxt: 1,
 		sndNxt: 1,
 		sndUna: 1,
+		sndMax: 1,
 		window: st.Cfg.RcvBuf,
 		// The SUT's initial advertisement is half its receive buffer
 		// (truesize headroom); start from the same value.
@@ -66,7 +85,11 @@ func newClient(st *Stack, conn int, nic *netdev.NIC) *Client {
 // ToPeer implements netdev.Peer: a frame from the SUT reaches the client
 // after its (small, fixed) processing delay.
 func (c *Client) ToPeer(f netdev.WireFrame) {
-	c.st.K.Eng.After(c.st.Cfg.ClientDelayCycles, func() { c.handle(f) })
+	c.pending++
+	c.st.K.Eng.After(c.st.Cfg.ClientDelayCycles, func() {
+		c.pending--
+		c.handle(f)
+	})
 }
 
 func (c *Client) handle(f netdev.WireFrame) {
@@ -117,6 +140,14 @@ func (c *Client) handle(f netdev.WireFrame) {
 		switch {
 		case f.Ack > c.sndUna:
 			c.sndUna = f.Ack
+			if c.sndNxt < c.sndUna {
+				// A go-back (watchdog or dup-ACK) rewound snd_nxt, and
+				// this ACK covers data from before the rewind — the SUT
+				// had received it after all (it was merely delayed, e.g.
+				// by a DMA stall or jitter). Resume from the ack point or
+				// in-flight goes negative and the source wedges.
+				c.sndNxt = c.sndUna
+			}
 			c.dupAcks = 0
 		case f.Ack == c.sndUna && c.sndNxt > c.sndUna && f.Len == 0 && f.Window == c.sutWnd:
 			// Duplicate ACK from the SUT: same ack point, same window
@@ -126,8 +157,11 @@ func (c *Client) handle(f netdev.WireFrame) {
 			c.dupAcks++
 			if c.dupAcks >= 3 {
 				c.dupAcks = 0
-				c.Retransmits++
-				c.sndNxt = c.sndUna
+				if c.sndUna >= c.recoverSeq {
+					c.Retransmits++
+					c.recoverSeq = c.sndNxt
+					c.sndNxt = c.sndUna
+				}
 			}
 		}
 		c.sutWnd = f.Window
@@ -152,6 +186,7 @@ func (c *Client) armWatchdog() {
 		c.watchArmed = false
 		if c.sndNxt > c.sndUna && c.sndUna == mark {
 			c.Retransmits++
+			c.recoverSeq = c.sndNxt
 			c.sndNxt = c.sndUna
 			c.pump()
 		}
@@ -199,14 +234,21 @@ func (c *Client) OnReceive(cb func(n int)) { c.onRecv = cb }
 func (c *Client) pump() {
 	mss := c.st.Cfg.MSS
 	for {
-		want := 0
+		want, fromBacklog := 0, false
 		switch {
 		case c.active:
 			want = mss
 		case c.backlogBytes >= mss:
-			want = mss
+			want, fromBacklog = mss, true
 		case c.backlogBytes > 0:
-			want = c.backlogBytes
+			want, fromBacklog = c.backlogBytes, true
+		case c.sndNxt < c.sndMax:
+			// Stopped mid-recovery: resend the owed tail up to the high-
+			// water mark so the two sequence spaces converge.
+			want = mss
+			if tail := int(c.sndMax - c.sndNxt); want > tail {
+				want = tail
+			}
 		default:
 			return
 		}
@@ -222,9 +264,12 @@ func (c *Client) pump() {
 			Flags:  netdev.FlagPsh | netdev.FlagAck,
 		})
 		c.sndNxt += uint64(want)
+		if c.sndNxt > c.sndMax {
+			c.sndMax = c.sndNxt
+		}
 		c.BytesSent += uint64(want)
 		c.SegsSent++
-		if !c.active {
+		if fromBacklog {
 			c.backlogBytes -= want
 		}
 	}
@@ -232,3 +277,16 @@ func (c *Client) pump() {
 
 // InFlight reports the client source's unacknowledged bytes.
 func (c *Client) InFlight() int { return int(c.sndNxt - c.sndUna) }
+
+// Pending reports frames handed to the client whose processing event has
+// not yet run (quiesce checks).
+func (c *Client) Pending() int { return c.pending }
+
+// UnsentTail reports bytes between the rewound send point and the high-
+// water mark — data the client still owes the wire after a go-back
+// (quiesce checks).
+func (c *Client) UnsentTail() int { return int(c.sndMax - c.sndNxt) }
+
+// DelackPending reports whether the client's delayed-ACK timer is armed
+// (quiesce checks; it self-clears within 200 µs).
+func (c *Client) DelackPending() bool { return c.delackArmed }

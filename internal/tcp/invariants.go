@@ -1,0 +1,72 @@
+package tcp
+
+import "repro/internal/sim"
+
+// This file is the read-only surface the post-run invariant checker
+// (core.CheckInvariants) walks: enough visibility into sockets, the
+// far-end clients and the buffer pool to prove that a faulted run
+// drained — every pool buffer back on a free list or accounted for,
+// retransmission machinery disarmed, and both directions' sequence
+// spaces agreeing on how many bytes really arrived.
+
+// RetransQLen is the number of unacknowledged segments queued for
+// possible retransmission.
+func (s *Socket) RetransQLen() int { return len(s.retransQ) }
+
+// BacklogLen is the number of packets parked on the socket backlog
+// (arrived while a user held the socket).
+func (s *Socket) BacklogLen() int { return len(s.backlog) }
+
+// RetransTimerActive reports whether the retransmission timer is
+// armed.
+func (s *Socket) RetransTimerActive() bool { return s.retransTimer.Active() }
+
+// SKBResident counts the pool skbs this socket currently owns: receive
+// queue, retransmit queue, a Nagle tail under construction, and
+// backlogged receive packets still carrying their ring buffer.
+func (s *Socket) SKBResident() int {
+	n := len(s.rcvQ) + len(s.retransQ)
+	if s.tail != nil {
+		n++
+	}
+	for _, pkt := range s.backlog {
+		if _, ok := pkt.Cookie.(*SKB); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// HasTail reports whether a Nagle tail with payload is being held for
+// later transmission.
+func (s *Socket) HasTail() bool { return s.tail != nil && s.tail.Len > 0 }
+
+// RcvNxt, SndUna and SndNxt expose the socket's sequence-space
+// positions (next byte expected, oldest unacknowledged, next to send).
+func (s *Socket) RcvNxt() uint64 { return s.rcvNxt }
+func (s *Socket) SndUna() uint64 { return s.sndUna }
+func (s *Socket) SndNxt() uint64 { return s.sndNxt }
+
+// RTOBackoff is the current consecutive-timeout count; CurrentRTO is
+// the timeout the next (re)arm would use. Test visibility for the
+// exponential-backoff machinery.
+func (s *Socket) RTOBackoff() uint     { return s.rtoBackoff }
+func (s *Socket) CurrentRTO() sim.Time { return s.rto() }
+func (s *Socket) OwnedByUser() bool    { return s.ownedByUser }
+
+// DelackArmed reports whether the delayed-ACK timer is armed (quiesce
+// checks; it self-clears within 200 µs).
+func (s *Socket) DelackArmed() bool { return s.delackArmed }
+
+// Client sequence positions, for byte-conservation checks against the
+// SUT socket at the other end of the wire.
+func (c *Client) RcvNxt() uint64 { return c.rcvNxt }
+func (c *Client) SndUna() uint64 { return c.sndUna }
+func (c *Client) SndNxt() uint64 { return c.sndNxt }
+
+// Check validates the pool's internal free-list invariants.
+func (p *Pool) Check() error { return p.check() }
+
+// NumSKBs and NumClones are the pool's backing-array sizes.
+func (p *Pool) NumSKBs() int   { return len(p.skbs) }
+func (p *Pool) NumClones() int { return len(p.clones) }

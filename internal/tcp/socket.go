@@ -65,6 +65,9 @@ type Socket struct {
 
 	// Loss recovery.
 	dupAcks int
+	// rtoBackoff counts consecutive retransmission-timer expiries; each
+	// doubles the next timeout (capped), and a forward ACK clears it.
+	rtoBackoff uint
 	// recoverSeq suppresses further fast retransmits until snd_una
 	// passes the point where the last recovery started (NewReno-style).
 	recoverSeq uint64
@@ -292,7 +295,7 @@ func (s *Socket) transmitSkb(env *kern.Env, skb *SKB) {
 	env.Run(p.modTimer, func(x *cpu.Exec) {
 		x.Instr(95, 0.16, 0.01).Store(s.ctxAddr, 16)
 	})
-	st.K.ModTimer(s.retransTimer, st.K.Now()+sim.Time(400_000_000)) // 200 ms
+	st.K.ModTimer(s.retransTimer, st.K.Now()+s.rto())
 	s.SegsOut++
 	win := s.advertise()
 	s.lastWndAdv = win
@@ -474,6 +477,7 @@ func (s *Socket) rcvAck(env *kern.Env, f netdev.WireFrame) {
 	}
 	if f.Ack > s.sndUna {
 		s.dupAcks = 0
+		s.rtoBackoff = 0
 		s.sndUna = f.Ack
 		for len(s.retransQ) > 0 {
 			head := s.retransQ[0]
@@ -494,7 +498,7 @@ func (s *Socket) rcvAck(env *kern.Env, f netdev.WireFrame) {
 			env.Run(p.modTimer, func(x *cpu.Exec) {
 				x.Instr(95, 0.16, 0.01).Store(s.ctxAddr, 16)
 			})
-			st.K.ModTimer(s.retransTimer, st.K.Now()+sim.Time(400_000_000))
+			st.K.ModTimer(s.retransTimer, st.K.Now()+s.rto())
 		}
 	}
 	s.sndWnd = f.Window
@@ -627,9 +631,42 @@ func (s *Socket) onRetransTimer(env *kern.Env) {
 		return
 	}
 	if len(s.retransQ) > 0 {
+		// A timer expiry means the estimate was wrong or the path is
+		// down: back off before retransmitting (transmitSkb re-arms with
+		// the doubled value), so a dead link decays to sparse probes
+		// instead of a fixed-rate retransmission storm.
+		s.rtoBackoff++
 		s.goBackN(env)
 	}
 	s.slock.Unlock(env)
+}
+
+// rto is the current retransmission timeout: the configured initial
+// value doubled once per consecutive timer expiry, saturating at the
+// configured cap. Zero-valued config fields fall back to the defaults
+// so pre-existing configs keep their 200 ms behaviour.
+func (s *Socket) rto() sim.Time {
+	init, max := s.st.Cfg.RTOInitCycles, s.st.Cfg.RTOMaxCycles
+	if init == 0 {
+		init = DefaultRTOInitCycles
+	}
+	if max == 0 {
+		max = DefaultRTOMaxCycles
+	}
+	if max < init {
+		max = init
+	}
+	rto := init
+	for i := uint(0); i < s.rtoBackoff; i++ {
+		rto <<= 1
+		if rto >= max || rto < init { // saturate, and guard shift overflow
+			return sim.Time(max)
+		}
+	}
+	if rto > max {
+		rto = max
+	}
+	return sim.Time(rto)
 }
 
 // goBackN retransmits every outstanding segment and marks the recovery

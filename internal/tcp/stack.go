@@ -43,7 +43,20 @@ type Config struct {
 	// of 2.4's `rep movl` — the ablation for the paper's observation [1]
 	// that an optimized RX copy appeared in 2.6.
 	RxIntCopy bool
+	// RTOInitCycles is the retransmission timeout armed for a fresh
+	// transmission; consecutive timer expiries double it (exponential
+	// backoff) up to RTOMaxCycles, and a forward ACK resets it. Zero
+	// values mean the defaults (200 ms / 1.6 s at 2 GHz).
+	RTOInitCycles uint64
+	RTOMaxCycles  uint64
 }
+
+// Default retransmission-timer parameters (cycles at 2 GHz), used when
+// the config leaves the fields zero.
+const (
+	DefaultRTOInitCycles = 400_000_000   // 200 ms
+	DefaultRTOMaxCycles  = 3_200_000_000 // 1.6 s — three doublings
+)
 
 // DefaultConfig returns the paper's operating point.
 func DefaultConfig() Config {
@@ -55,6 +68,8 @@ func DefaultConfig() Config {
 		PoolHeaders:       4096,
 		DelAckSegs:        2,
 		ClientDelayCycles: 10_000, // 5 µs
+		RTOInitCycles:     DefaultRTOInitCycles,
+		RTOMaxCycles:      DefaultRTOMaxCycles,
 	}
 }
 

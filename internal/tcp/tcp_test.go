@@ -23,6 +23,13 @@ type rig struct {
 }
 
 func newRig(t *testing.T, cfg Config) *rig {
+	return newRigNIC(t, cfg, netdev.DefaultNICConfig(0x19))
+}
+
+// newRigNIC builds a rig around a custom device configuration (loss
+// rate, ring sizes); loss is construction-time config so the cache
+// fingerprint can always see it.
+func newRigNIC(t *testing.T, cfg Config, ncfg netdev.NICConfig) *rig {
 	t.Helper()
 	eng := sim.NewEngine(7)
 	tab := perf.NewSymbolTable()
@@ -33,10 +40,17 @@ func newRig(t *testing.T, cfg Config) *rig {
 	})
 	t.Cleanup(k.Shutdown)
 	st := New(k, cfg)
-	nic := st.AddNIC(0x19)
+	nic := st.AddNICWithConfig(ncfg)
 	s, c := st.NewConn(1, nic)
 	k.StartTicks()
 	return &rig{eng: eng, k: k, st: st, nic: nic, s: s, c: c, tab: tab, ctr: ctr}
+}
+
+// lossyNIC is a default device with the given wire-loss probability.
+func lossyNIC(loss float64) netdev.NICConfig {
+	ncfg := netdev.DefaultNICConfig(0x19)
+	ncfg.LossRate = loss
+	return ncfg
 }
 
 func TestTransmitDeliversInOrder(t *testing.T) {

@@ -87,6 +87,10 @@ func WriteChrome(w io.Writer, r *Recorder, clockHz uint64) error {
 			if int(rec.Arg0) > maxNIC {
 				maxNIC = int(rec.Arg0)
 			}
+		case KindFault:
+			if int(rec.Arg1) > maxNIC {
+				maxNIC = int(rec.Arg1)
+			}
 		}
 	}
 	meta := func(pid int, tid int, key, value string) {
@@ -186,6 +190,16 @@ func WriteChrome(w io.Writer, r *Recorder, clockHz uint64) error {
 				phaseComplete, pidCPU, cpu, us(start), us(spun),
 				jsonString("spin: "+r.Str(rec.Arg0)))
 			emit(b.String())
+		case KindFault:
+			// NIC-scoped fault transitions land on the NIC track; CPU-scoped
+			// ones (interrupt storms) on the target CPU's track.
+			pid, tid := pidNIC, int(rec.Arg1)
+			if rec.Arg1 < 0 {
+				pid, tid = pidCPU, cpu
+			}
+			emit(span(phaseInstant, pid, tid, at,
+				"fault: "+r.Str(rec.Arg0),
+				fmt.Sprintf("\"arg\":%d", rec.Arg2)))
 		}
 	}
 	bw.printf("\n]}\n")

@@ -60,6 +60,11 @@ func describe(r *Recorder, rec Record) string {
 		return fmt.Sprintf("conn%d %s woken=%d", rec.Arg0, r.Str(rec.Arg1), rec.Arg2)
 	case KindLockSpin:
 		return fmt.Sprintf("%s spun=%dcy", r.Str(rec.Arg0), rec.Arg1)
+	case KindFault:
+		if rec.Arg1 >= 0 {
+			return fmt.Sprintf("%s nic%d arg=%d", r.Str(rec.Arg0), rec.Arg1, rec.Arg2)
+		}
+		return fmt.Sprintf("%s arg=%d", r.Str(rec.Arg0), rec.Arg2)
 	}
 	return ""
 }

@@ -67,6 +67,12 @@ const (
 	// lock is granted: Arg0 = interned lock name, Arg1 = cycles spent
 	// spinning. CPU = the waiter's processor.
 	KindLockSpin
+	// KindFault is an injected fault transition (internal/fault): Arg0 =
+	// interned fault kind ("flap-down", "flap-up", "dma-stall", ...),
+	// Arg1 = the target NIC (-1 when the fault targets a CPU), Arg2 =
+	// kind-specific detail (e.g. the storm vector). CPU is the target
+	// processor for CPU-scoped faults, else -1.
+	KindFault
 
 	numKinds
 )
@@ -74,7 +80,7 @@ const (
 var kindNames = [numKinds]string{
 	"ctx-switch", "irq-deliver", "irq-enter", "irq-exit", "ipi",
 	"softirq-enter", "softirq-exit", "nic-dma", "nic-irq", "nic-coalesce",
-	"sock-block", "sock-wake", "lock-spin",
+	"sock-block", "sock-wake", "lock-spin", "fault",
 }
 
 // String names the record kind.
@@ -298,4 +304,14 @@ func (r *Recorder) LockSpin(at sim.Time, cpu int, name string, spun uint64) {
 		return
 	}
 	r.Emit(at, KindLockSpin, cpu, r.Intern(name), int64(spun), 0)
+}
+
+// Fault records an injected fault transition. nic is -1 for CPU-scoped
+// faults (which pass the target processor as cpu); arg carries
+// kind-specific detail such as the injected vector.
+func (r *Recorder) Fault(at sim.Time, cpu int, kind string, nic int, arg int64) {
+	if r == nil {
+		return
+	}
+	r.Emit(at, KindFault, cpu, r.Intern(kind), int64(nic), arg)
 }

@@ -28,6 +28,7 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	r.SockBlock(1, 0, 3, "sndbuf")
 	r.SockWake(2, 0, 3, "sndbuf", 1)
 	r.LockSpin(3, 0, "sk0", 400)
+	r.Fault(3, 0, "flap-down", 0, 0)
 	if got := r.Intern("x"); got != 0 {
 		t.Fatalf("nil Intern = %d, want 0", got)
 	}
@@ -117,6 +118,8 @@ func populatedRecorder() *Recorder {
 	r.SockBlock(1800, 1, 3, "sndbuf")
 	r.SockWake(1900, 0, 3, "sndbuf", 1)
 	r.LockSpin(2500, 1, "sk3", 400)
+	r.Fault(2600, -1, "flap-down", 2, 0)
+	r.Fault(2700, 1, "irq-storm", -1, 0x1b)
 	return r
 }
 

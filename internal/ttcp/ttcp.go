@@ -40,6 +40,8 @@ type Proc struct {
 	// Transactions counts completed read/write calls.
 	Transactions uint64
 	userBuf      mem.Addr
+	stop         bool
+	stopped      bool
 
 	// latencies records per-transaction durations (cycles) when
 	// Config.RecordLatency is set; see Latency.
@@ -112,7 +114,7 @@ func Launch(st *tcp.Stack, sock *tcp.Socket, client *tcp.Client, cfg Config) *Pr
 		userBuf: k.Space.AllocPage(roundUp(cfg.Size, mem.PageSize), "ttcp_buf:"+cfg.Name),
 	}
 	body := func(env *kern.Env) {
-		for {
+		for !p.stop {
 			start := k.Eng.Now()
 			switch cfg.Dir {
 			case TX:
@@ -128,10 +130,20 @@ func Launch(st *tcp.Stack, sock *tcp.Socket, client *tcp.Client, cfg Config) *Pr
 				env.Delay(env.Kernel().Eng.RNG().Jitter(cfg.ThinkCycles, 0.2))
 			}
 		}
+		p.stopped = true
 	}
 	p.Task = k.Spawn(cfg.Name, cfg.StartCPU, cfg.Affinity, body)
 	return p
 }
+
+// Stop asks the process to exit at its next transaction boundary (the
+// invariant checker's quiesce phase). A process blocked forever — an
+// RX reader with no more data coming — simply never observes the flag;
+// it holds no buffers while blocked, so draining does not need it.
+func (p *Proc) Stop() { p.stop = true }
+
+// Stopped reports whether the loop has exited.
+func (p *Proc) Stopped() bool { return p.stopped }
 
 func roundUp(n, to int) int {
 	return (n + to - 1) / to * to
