@@ -35,6 +35,7 @@ import (
 	"repro/affinity"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -51,6 +52,8 @@ func main() {
 	useCache := flag.Bool("cache", false, "reuse cached results across tables (in-memory)")
 	cacheDir := flag.String("cache-dir", os.Getenv(affinity.CacheDirEnv), "persistent result cache directory (implies -cache)")
 	cacheBytes := flag.Int64("cache-bytes", affinity.DefaultCacheBytes, "in-memory cache byte bound (<=0 = unbounded)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -58,6 +61,13 @@ func main() {
 		buildinfo.Print("affinity-figures")
 		return
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-figures:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	modes, err := parseModes(*modesFlag)
 	if err != nil {

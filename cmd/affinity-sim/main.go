@@ -60,6 +60,7 @@ import (
 
 	"repro/affinity"
 	"repro/internal/buildinfo"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -89,6 +90,8 @@ func main() {
 	faultsFlag := flag.String("faults", "", `fault schedule: "kind,k=v,...;..." (kinds loss|burst|flap|delay|stall|storm) or @schedule.json`)
 	rtoInit := flag.Uint64("rto-init", 0, "initial TCP retransmission timeout in cycles (0 = 200 ms default; LAN-tune for short fault runs)")
 	rtoMax := flag.Uint64("rto-max", 0, "retransmission backoff cap in cycles (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -96,6 +99,13 @@ func main() {
 		buildinfo.Print("affinity-sim")
 		return
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	mode, err := affinity.ParseMode(*modeFlag)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/sim"
 )
 
 // storedResult is the on-disk form of a Result. The Config is NOT
@@ -38,6 +39,12 @@ type storedResult struct {
 	FlapRecoveryCycles []uint64
 	InvariantsChecked  bool
 	InvariantViolation string
+
+	// Engine is the scheduler's cumulative counter snapshot. It is
+	// deterministic per Config, so a cached replay carries the same
+	// numbers a fresh run would produce. Absent in pre-existing cache
+	// entries, which decode it as zero.
+	Engine sim.Stats
 }
 
 // path maps a fingerprint to its file. Keys are hex SHA-256, so they are
@@ -88,6 +95,7 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 		FlapRecoveryCycles: sr.FlapRecoveryCycles,
 		InvariantsChecked:  sr.InvariantsChecked,
 		InvariantViolation: sr.InvariantViolation,
+		Engine:             sr.Engine,
 	}, true
 }
 
@@ -121,6 +129,7 @@ func (c *Cache) storeDisk(key string, res *core.Result) {
 		FlapRecoveryCycles: res.FlapRecoveryCycles,
 		InvariantsChecked:  res.InvariantsChecked,
 		InvariantViolation: res.InvariantViolation,
+		Engine:             res.Engine,
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 	if err != nil {

@@ -51,6 +51,13 @@ type Result struct {
 	InvariantsChecked  bool
 	InvariantViolation string
 
+	// Engine is the simulation engine's cumulative scheduling counters
+	// at the end of the window (not a windowed delta): how many events
+	// the run cost, the queue's high-water mark, and the ladder-band
+	// occupancy. Deterministic for a given Config, like everything else
+	// here.
+	Engine sim.Stats
+
 	// Ctr is the PMU counter delta over the window.
 	Ctr *perf.Counters
 	// IdleCycles is the per-CPU idle time inside the window.
@@ -150,6 +157,7 @@ func (m *Machine) Measure(window uint64) *Result {
 	if bits > 0 {
 		r.CostGHzPerGbps = float64(busyTotal) / bits
 	}
+	r.Engine = m.Eng.Stats()
 	return r
 }
 

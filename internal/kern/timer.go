@@ -1,6 +1,8 @@
 package kern
 
 import (
+	"math/bits"
+
 	"repro/internal/cpu"
 	"repro/internal/sim"
 )
@@ -12,48 +14,180 @@ import (
 type Timer struct {
 	expires sim.Time
 	fn      func(env *Env)
-	idx     int // heap index, -1 when inactive
+	slot    int32 // wheel arena slot, -1 when inactive
 	seq     uint64
 }
 
 // Active reports whether the timer is armed.
-func (t *Timer) Active() bool { return t.idx >= 0 }
+func (t *Timer) Active() bool { return t.slot >= 0 }
 
-// timerHeap is a concrete 4-ary min-heap ordered by (expires, seq). Like
-// the event queue in internal/sim it avoids container/heap's interface
-// boxing on the arm/disarm churn path; the (expires, seq) order is total,
-// so expiry order is independent of heap internals.
-type timerHeap []*Timer
+// The wheel mirrors internal/sim's two-tier ladder: a band of
+// coarse-grained buckets covering the next ~33 M cycles (comfortably past
+// the delayed-ACK 400 k, the usual RTO of a few million, and a full
+// 20 M-cycle tick period) backed by a 4-ary overflow heap for long
+// horizons. Unlike the engine's one-cycle buckets, a timer bucket spans
+// 2^timerBandShift cycles and so holds several distinct deadlines; chains
+// are therefore kept sorted by (expires, seq) on insert — arm/disarm
+// churn dominates and chains stay tiny, so sorted insertion is cheaper
+// than any per-expiry sort.
+//
+// The expiry path does not assume tier disjointness: it merges the band
+// minimum and heap minimum by (expires, seq), so overdue arms (expires in
+// the past — legal, they fire at the next tick) are handled wherever they
+// landed. The band base is kept bucket-aligned so each bucket maps to one
+// contiguous time range within the window, making "first occupied bucket's
+// chain head" the exact band minimum.
+const (
+	timerBandShift   = 15
+	timerBandBuckets = 1 << 10
+	timerBandMask    = timerBandBuckets - 1
+	timerBandWords   = timerBandBuckets / 64
+	timerBucketAlign = sim.Time(1)<<timerBandShift - 1
+	timerBandSpan    = sim.Time(timerBandBuckets) << timerBandShift
+)
+
+// timerCompactMinDead matches internal/sim's threshold before a tier is
+// swept of disarmed entries.
+const timerCompactMinDead = 64
 
 const timerHeapArity = 4
 
-func timerLess(a, b *Timer) bool {
-	if a.expires != b.expires {
-		return a.expires < b.expires
-	}
-	return a.seq < b.seq
+type timerWheel struct {
+	// Struct-of-arrays slot arena. A slot is one armed instance of a
+	// timer; disarm/re-arm kills the slot (lazily reaped) and re-arm
+	// inserts a new one. owners back-references let expiry hand the
+	// *Timer to the softirq pass.
+	expires []sim.Time
+	seqs    []uint64
+	owners  []*Timer
+	nexts   []int32 // bucket chain link, slot+1 (0 = end)
+	deads   []bool
+	inHeap  []bool
+	free    []int32
+
+	base     sim.Time // bucket-aligned start of the band window
+	bandLive int
+	bandDead int
+	heads    [timerBandBuckets]int32 // slot+1, 0 = empty
+	tails    [timerBandBuckets]int32
+	bitmap   [timerBandWords]uint64
+
+	heap     []int32
+	heapDead int
+
+	seq  uint64
+	live int
+	// expired timers awaiting their softirq pass, per CPU.
+	pending map[int][]*Timer
 }
 
-func (h timerHeap) siftUp(i int) {
-	t := h[i]
-	for i > 0 {
-		p := (i - 1) / timerHeapArity
-		if !timerLess(t, h[p]) {
+func newTimerWheel() *timerWheel {
+	return &timerWheel{pending: make(map[int][]*Timer)}
+}
+
+// slotLess orders slots by (expires, seq); the order is total, so expiry
+// order is independent of wheel internals.
+func (w *timerWheel) slotLess(a, b int32) bool {
+	if w.expires[a] != w.expires[b] {
+		return w.expires[a] < w.expires[b]
+	}
+	return w.seqs[a] < w.seqs[b]
+}
+
+func (w *timerWheel) alloc() int32 {
+	if n := len(w.free); n > 0 {
+		i := w.free[n-1]
+		w.free = w.free[:n-1]
+		return i
+	}
+	i := int32(len(w.expires))
+	w.expires = append(w.expires, 0)
+	w.seqs = append(w.seqs, 0)
+	w.owners = append(w.owners, nil)
+	w.nexts = append(w.nexts, 0)
+	w.deads = append(w.deads, false)
+	w.inHeap = append(w.inHeap, false)
+	return i
+}
+
+func (w *timerWheel) freeSlot(i int32) {
+	w.owners[i] = nil
+	w.free = append(w.free, i)
+}
+
+func (w *timerWheel) bucket(t sim.Time) int {
+	return int(t>>timerBandShift) & timerBandMask
+}
+
+// bandInsert places slot i into its bucket chain, sorted by
+// (expires, seq). Dead entries keep their keys, so the whole chain stays
+// sorted and expiry can skip them without re-ordering.
+func (w *timerWheel) bandInsert(i int32) {
+	b := w.bucket(w.expires[i])
+	w.inHeap[i] = false
+	w.bandLive++
+	// Fast path: fresh arms draw monotone sequence numbers, so clustered
+	// same-bucket arms append at the tail in O(1).
+	if tail := w.tails[b]; tail != 0 && !w.slotLess(i, tail-1) {
+		w.nexts[i] = 0
+		w.nexts[tail-1] = i + 1
+		w.tails[b] = i + 1
+		return
+	}
+	var prev int32
+	for p := w.heads[b]; p != 0; p = w.nexts[p-1] {
+		if w.slotLess(i, p-1) {
 			break
 		}
-		h[i] = h[p]
-		h[i].idx = i
-		i = p
+		prev = p
 	}
-	h[i] = t
-	t.idx = i
+	if prev == 0 {
+		w.nexts[i] = w.heads[b]
+		w.heads[b] = i + 1
+		w.bitmap[b>>6] |= 1 << uint(b&63)
+	} else {
+		w.nexts[i] = w.nexts[prev-1]
+		w.nexts[prev-1] = i + 1
+	}
+	if w.nexts[i] == 0 {
+		w.tails[b] = i + 1
+	}
 }
 
-func (h timerHeap) siftDown(i int) {
+func (w *timerWheel) heapPush(i int32) {
+	w.inHeap[i] = true
+	h := append(w.heap, i)
+	j := len(h) - 1
+	for j > 0 {
+		p := (j - 1) / timerHeapArity
+		if !w.slotLess(i, h[p]) {
+			break
+		}
+		h[j] = h[p]
+		j = p
+	}
+	h[j] = i
+	w.heap = h
+}
+
+func (w *timerWheel) heapPop() int32 {
+	h := w.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	w.heap = h[:n]
+	if n > 0 {
+		w.heapSiftDown(0, last)
+	}
+	w.inHeap[top] = false
+	return top
+}
+
+func (w *timerWheel) heapSiftDown(j int, x int32) {
+	h := w.heap
 	n := len(h)
-	t := h[i]
 	for {
-		first := timerHeapArity*i + 1
+		first := timerHeapArity*j + 1
 		if first >= n {
 			break
 		}
@@ -63,109 +197,291 @@ func (h timerHeap) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if timerLess(h[c], h[min]) {
+			if w.slotLess(h[c], h[min]) {
 				min = c
 			}
 		}
-		if !timerLess(h[min], t) {
+		if !w.slotLess(h[min], x) {
 			break
 		}
-		h[i] = h[min]
-		h[i].idx = i
-		i = min
+		h[j] = h[min]
+		j = min
 	}
-	h[i] = t
-	t.idx = i
+	h[j] = x
 }
 
-func (h *timerHeap) push(t *Timer) {
-	t.idx = len(*h)
-	*h = append(*h, t)
-	h.siftUp(t.idx)
-}
-
-func (h *timerHeap) popMin() *Timer {
-	t := (*h)[0]
-	h.removeAt(0)
-	return t
-}
-
-// removeAt deletes the timer at heap index i.
-func (h *timerHeap) removeAt(i int) {
-	old := *h
-	n := len(old) - 1
-	t := old[i]
-	last := old[n]
-	old[n] = nil
-	*h = old[:n]
-	if i < n {
-		old[i] = last
-		last.idx = i
-		h.fix(i)
+func (w *timerWheel) compactHeap() {
+	h := w.heap[:0]
+	for _, i := range w.heap {
+		if w.deads[i] {
+			w.inHeap[i] = false
+			w.freeSlot(i)
+			continue
+		}
+		h = append(h, i)
 	}
-	t.idx = -1
+	w.heap = h
+	if n := len(h); n > 1 {
+		for j := (n - 2) / timerHeapArity; j >= 0; j-- {
+			w.heapSiftDown(j, h[j])
+		}
+	}
+	w.heapDead = 0
 }
 
-// fix restores heap order after the timer at index i changed its key.
-// If siftDown sank the element, position i now holds a former descendant
-// already >= parent(i), so the follow-up siftUp is a no-op.
-func (h timerHeap) fix(i int) {
-	h.siftDown(i)
-	h.siftUp(i)
+// sweepBand filters disarmed entries out of every bucket chain, keeping
+// chain order, and recycles their slots.
+func (w *timerWheel) sweepBand() {
+	for wd := range w.bitmap {
+		bw := w.bitmap[wd]
+		for bw != 0 {
+			b := wd<<6 + bits.TrailingZeros64(bw)
+			bw &= bw - 1
+			var head, tail int32
+			for p := w.heads[b]; p != 0; {
+				i := p - 1
+				p = w.nexts[i]
+				if w.deads[i] {
+					w.freeSlot(i)
+					continue
+				}
+				w.nexts[i] = 0
+				if tail != 0 {
+					w.nexts[tail-1] = i + 1
+				} else {
+					head = i + 1
+				}
+				tail = i + 1
+			}
+			w.heads[b] = head
+			w.tails[b] = tail
+			if head == 0 {
+				w.bitmap[wd] &^= 1 << uint(b&63)
+			}
+		}
+	}
+	w.bandDead = 0
 }
 
-type timerWheel struct {
-	heap timerHeap
-	seq  uint64
-	// expired timers awaiting their softirq pass, per CPU.
-	pending map[int][]*Timer
+// kill marks slot i disarmed; the slot is reaped lazily by expiry or a
+// compaction sweep.
+func (w *timerWheel) kill(i int32) {
+	w.deads[i] = true
+	w.owners[i] = nil
+	w.live--
+	if w.inHeap[i] {
+		w.heapDead++
+		if w.heapDead >= timerCompactMinDead && w.heapDead*2 > len(w.heap) {
+			w.compactHeap()
+		}
+	} else {
+		w.bandLive--
+		w.bandDead++
+		if w.bandDead >= timerCompactMinDead && w.bandDead*2 > w.bandLive {
+			w.sweepBand()
+		}
+	}
 }
 
-func newTimerWheel() *timerWheel {
-	return &timerWheel{pending: make(map[int][]*Timer)}
+// insert places slot i in the tier its deadline calls for.
+func (w *timerWheel) insert(i int32) {
+	if e := w.expires[i]; e >= w.base && e-w.base < timerBandSpan {
+		w.bandInsert(i)
+	} else {
+		w.heapPush(i)
+	}
 }
 
 // NewTimer creates an inactive timer with handler fn. The handler runs in
 // softirq context on whichever processor's tick expires it.
 func (k *Kernel) NewTimer(fn func(env *Env)) *Timer {
-	return &Timer{fn: fn, idx: -1}
+	return &Timer{fn: fn, slot: -1}
 }
 
-// ModTimer (re)arms t to fire at expires.
+// ModTimer (re)arms t to fire at expires. Re-arming an armed timer keeps
+// its sequence number — the timer moves to its new deadline but keeps its
+// place among same-deadline peers, exactly as the heap fix-up used to
+// behave — while a fresh arm draws the next sequence number.
 func (k *Kernel) ModTimer(t *Timer, expires sim.Time) {
 	w := k.timers
 	t.expires = expires
-	if t.idx >= 0 {
-		w.heap.fix(t.idx)
-		return
+	if t.slot >= 0 {
+		w.kill(t.slot)
+		w.live++ // kill counts a disarm; a re-arm is net zero
+	} else {
+		w.seq++
+		t.seq = w.seq
+		w.live++
 	}
-	w.seq++
-	t.seq = w.seq
-	w.heap.push(t)
+	i := w.alloc()
+	w.expires[i] = expires
+	w.seqs[i] = t.seq
+	w.owners[i] = t
+	w.deads[i] = false
+	t.slot = i
+	w.insert(i)
 }
 
 // DelTimer disarms t if armed.
 func (k *Kernel) DelTimer(t *Timer) {
-	if t.idx >= 0 {
-		k.timers.heap.removeAt(t.idx)
+	if t.slot >= 0 {
+		k.timers.kill(t.slot)
+		t.slot = -1
 	}
 }
 
 // ArmedTimers reports how many timers are armed (tests).
-func (k *Kernel) ArmedTimers() int { return len(k.timers.heap) }
+func (k *Kernel) ArmedTimers() int { return k.timers.live }
+
+// bandMin returns the earliest live band slot without removing it,
+// reaping dead entries it scans past. Buckets ascend in time circularly
+// from the base bucket and chains are sorted, so the first live head is
+// the band minimum.
+func (w *timerWheel) bandMin() (int32, bool) {
+	s := w.bucket(w.base)
+	for k := 0; k < timerBandWords; k++ {
+		wd := (s>>6 + k) & (timerBandWords - 1)
+		for w.bitmap[wd] != 0 {
+			bw := w.bitmap[wd]
+			if k == 0 {
+				// Buckets below the base bucket in the start word are
+				// the very end of the window; they are scanned last,
+				// after the full circular pass.
+				bw &^= 1<<uint(s&63) - 1
+				if bw == 0 {
+					break
+				}
+			}
+			b := wd<<6 + bits.TrailingZeros64(bw)
+			p := w.heads[b]
+			if p == 0 {
+				// Bit set but chain empty cannot happen; defensive.
+				w.bitmap[wd] &^= 1 << uint(b&63)
+				continue
+			}
+			i := p - 1
+			if w.deads[i] {
+				w.unlinkHead(b, i)
+				w.bandDead--
+				w.freeSlot(i)
+				continue
+			}
+			return i, true
+		}
+	}
+	// Wrapped low buckets of the start word.
+	if s&63 != 0 {
+		for {
+			bw := w.bitmap[s>>6] & (1<<uint(s&63) - 1)
+			if bw == 0 {
+				break
+			}
+			b := s>>6<<6 + bits.TrailingZeros64(bw)
+			p := w.heads[b]
+			if p == 0 {
+				w.bitmap[s>>6] &^= 1 << uint(b&63)
+				continue
+			}
+			i := p - 1
+			if w.deads[i] {
+				w.unlinkHead(b, i)
+				w.bandDead--
+				w.freeSlot(i)
+				continue
+			}
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// unlinkHead removes slot i, the head of bucket b's chain.
+func (w *timerWheel) unlinkHead(b int, i int32) {
+	w.heads[b] = w.nexts[i]
+	if w.nexts[i] == 0 {
+		w.tails[b] = 0
+		w.bitmap[b>>6] &^= 1 << uint(b&63)
+	}
+}
+
+// bandRemove unlinks slot i, known to be the head of its bucket chain.
+func (w *timerWheel) bandRemove(i int32) {
+	w.unlinkHead(w.bucket(w.expires[i]), i)
+	w.bandLive--
+}
+
+// heapMin returns the earliest live heap slot without removing it,
+// reaping dead tops.
+func (w *timerWheel) heapMin() (int32, bool) {
+	for len(w.heap) > 0 {
+		i := w.heap[0]
+		if !w.deads[i] {
+			return i, true
+		}
+		w.heapPop()
+		w.heapDead--
+		w.freeSlot(i)
+	}
+	return 0, false
+}
+
+// advanceTo slides the band window up to now (bucket-aligned) and
+// migrates newly covered heap entries into their buckets.
+func (w *timerWheel) advanceTo(now sim.Time) {
+	base := now &^ timerBucketAlign
+	if base <= w.base {
+		return
+	}
+	w.base = base
+	for {
+		i, ok := w.heapMin()
+		if !ok {
+			break
+		}
+		e := w.expires[i]
+		if e < base || e-base >= timerBandSpan {
+			break
+		}
+		w.heapPop()
+		w.bandInsert(i)
+	}
+}
 
 // expireTimers moves due timers to c's pending list and raises the timer
 // softirq there, mirroring 2.4's "timers run as a bottom half on the CPU
-// that took the tick".
+// that took the tick". Due timers are drawn from both tiers in strict
+// (expires, seq) order.
 func (k *Kernel) expireTimers(c *KCPU) {
 	w := k.timers
 	now := k.Eng.Now()
 	moved := false
-	for len(w.heap) > 0 && w.heap[0].expires <= now {
-		t := w.heap.popMin()
+	for {
+		bi, bok := w.bandMin()
+		hi, hok := w.heapMin()
+		if !bok && !hok {
+			break
+		}
+		useBand := bok && (!hok || w.slotLess(bi, hi))
+		i := hi
+		if useBand {
+			i = bi
+		}
+		if w.expires[i] > now {
+			break
+		}
+		if useBand {
+			w.bandRemove(i)
+		} else {
+			w.heapPop()
+		}
+		t := w.owners[i]
+		w.freeSlot(i)
+		t.slot = -1
+		w.live--
 		w.pending[c.id] = append(w.pending[c.id], t)
 		moved = true
 	}
+	w.advanceTo(now)
 	if moved {
 		c.RaiseSoftirq(SoftirqTimer)
 	}

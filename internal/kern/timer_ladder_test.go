@@ -1,0 +1,92 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTimerLadderFarFutureMigration arms deadlines beyond the band span
+// so they start in the overflow heap, plus near ones in the band, and
+// checks they all fire in deadline order as ticks advance the window.
+func TestTimerLadderFarFutureMigration(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	var fired []sim.Time
+	arm := func(at sim.Time) {
+		tm := r.k.NewTimer(func(env *Env) { fired = append(fired, r.eng.Now()) })
+		r.k.ModTimer(tm, at)
+	}
+	near := sim.Time(25_000_000)
+	far := sim.Time(uint64(timerBandSpan) + 50_000_000)
+	for i := 0; i < 8; i++ {
+		arm(far + sim.Time(i)*7_000_000)
+		arm(near + sim.Time(i)*3_000_000)
+	}
+	if r.k.ArmedTimers() != 16 {
+		t.Fatalf("armed %d of 16", r.k.ArmedTimers())
+	}
+	r.eng.Run(sim.Time(uint64(timerBandSpan) + 300_000_000))
+	if len(fired) != 16 {
+		t.Fatalf("fired %d of 16 timers", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("timer %d fired at %d after one at %d", i, fired[i], fired[i-1])
+		}
+	}
+	if r.k.ArmedTimers() != 0 {
+		t.Fatalf("%d timers still armed", r.k.ArmedTimers())
+	}
+}
+
+// TestTimerRearmKeepsOrderAmongPeers pins the sequence-preservation rule:
+// re-arming an armed timer to a deadline shared with other timers keeps
+// its original position among them, exactly as the old heap fix-up did —
+// the byte-identity of whole runs depends on it.
+func TestTimerRearmKeepsOrderAmongPeers(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	var order []int
+	mk := func(id int) *Timer {
+		return r.k.NewTimer(func(env *Env) { order = append(order, id) })
+	}
+	a, b, c := mk(0), mk(1), mk(2)
+	deadline := sim.Time(40_000_000)
+	r.k.ModTimer(a, deadline)
+	r.k.ModTimer(b, deadline)
+	r.k.ModTimer(c, deadline)
+	// Slide a (the eldest) to a different deadline and back: it must
+	// still run before b and c at the shared deadline.
+	r.k.ModTimer(a, deadline+10_000_000)
+	r.k.ModTimer(a, deadline)
+	r.eng.Run(100_000_000)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("fire order %v, want [0 1 2]", order)
+	}
+}
+
+// TestTimerDisarmChurnCompaction runs enough arm/disarm churn to force
+// dead-slot compaction in the band and checks the survivors fire.
+func TestTimerDisarmChurnCompaction(t *testing.T) {
+	r := newKernel(t, 1, 1)
+	r.k.StartTicks()
+	survivors := 0
+	keep := r.k.NewTimer(func(env *Env) { survivors++ })
+	r.k.ModTimer(keep, 30_000_000)
+	scratch := r.k.NewTimer(nil)
+	for i := 0; i < 10_000; i++ {
+		r.k.ModTimer(scratch, sim.Time(2_000_000+i%4096))
+		r.k.DelTimer(scratch)
+	}
+	if got := r.k.ArmedTimers(); got != 1 {
+		t.Fatalf("ArmedTimers = %d after churn, want 1", got)
+	}
+	if got := len(r.k.timers.free); got == 0 {
+		t.Fatal("churn never recycled a slot")
+	}
+	r.eng.Run(60_000_000)
+	if survivors != 1 {
+		t.Fatalf("survivor fired %d times, want 1", survivors)
+	}
+}

@@ -22,12 +22,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/ttcp"
 )
@@ -65,7 +67,63 @@ type Server struct {
 	timeout time.Duration
 	version string
 	metrics *metrics
+	engines engineAgg
 	mux     *http.ServeMux
+}
+
+// engineAgg accumulates scheduler counters across every result the
+// server has produced (cached replays included — their stats are the
+// ones the original run recorded). Worker goroutines write concurrently,
+// hence the atomics.
+type engineAgg struct {
+	runs        atomic.Uint64
+	scheduled   atomic.Uint64
+	fired       atomic.Uint64
+	cancelled   atomic.Uint64
+	band        atomic.Uint64
+	compactions atomic.Uint64
+	peakPending atomic.Int64 // max over runs
+}
+
+func (a *engineAgg) add(s sim.Stats) {
+	a.runs.Add(1)
+	a.scheduled.Add(s.Scheduled)
+	a.fired.Add(s.Fired)
+	a.cancelled.Add(s.Cancelled)
+	a.band.Add(s.BandScheduled)
+	a.compactions.Add(s.Compactions)
+	for {
+		cur := a.peakPending.Load()
+		if int64(s.PeakPending) <= cur || a.peakPending.CompareAndSwap(cur, int64(s.PeakPending)) {
+			return
+		}
+	}
+}
+
+// EngineHealth is the scheduler aggregate reported by /healthz.
+type EngineHealth struct {
+	Runs            uint64  `json:"runs"`
+	EventsScheduled uint64  `json:"events_scheduled"`
+	EventsFired     uint64  `json:"events_fired"`
+	EventsCancelled uint64  `json:"events_cancelled"`
+	MaxPeakPending  int64   `json:"max_peak_pending"`
+	BandShare       float64 `json:"band_share"`
+	Compactions     uint64  `json:"compactions"`
+}
+
+func (a *engineAgg) snapshot() EngineHealth {
+	h := EngineHealth{
+		Runs:            a.runs.Load(),
+		EventsScheduled: a.scheduled.Load(),
+		EventsFired:     a.fired.Load(),
+		EventsCancelled: a.cancelled.Load(),
+		MaxPeakPending:  a.peakPending.Load(),
+		Compactions:     a.compactions.Load(),
+	}
+	if h.EventsScheduled > 0 {
+		h.BandShare = float64(a.band.Load()) / float64(h.EventsScheduled)
+	}
+	return h
 }
 
 // New assembles a Server.
@@ -88,7 +146,13 @@ func New(opts Options) *Server {
 	if inner == nil {
 		inner = core.Run
 	}
-	s.run = func(cfg core.Config) *core.Result { return s.cache.GetOrRun(cfg, inner) }
+	s.run = func(cfg core.Config) *core.Result {
+		res := s.cache.GetOrRun(cfg, inner)
+		if res != nil {
+			s.engines.add(res.Engine)
+		}
+		return res
+	}
 	s.runner.Use(s.run)
 	if s.timeout <= 0 {
 		s.timeout = 5 * time.Minute
@@ -590,12 +654,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // the cache-invalidation handle: a changed version means persisted cache
 // entries may predate model changes and should be discarded.
 type HealthResponse struct {
-	Status   string      `json:"status"`
-	Version  string      `json:"version"`
-	Workers  int         `json:"workers"`
-	Inflight int         `json:"inflight_requests"`
-	Limit    int         `json:"request_limit"`
-	Cache    cache.Stats `json:"cache"`
+	Status   string       `json:"status"`
+	Version  string       `json:"version"`
+	Workers  int          `json:"workers"`
+	Inflight int          `json:"inflight_requests"`
+	Limit    int          `json:"request_limit"`
+	Cache    cache.Stats  `json:"cache"`
+	Engine   EngineHealth `json:"engine"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -609,5 +674,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: len(s.sem),
 		Limit:    cap(s.sem),
 		Cache:    s.cache.Stats(),
+		Engine:   s.engines.snapshot(),
 	})
 }

@@ -17,14 +17,21 @@ import "fmt"
 //
 // The body must only Park from its own goroutine, and Resume must only be
 // called from outside it (engine/event context).
+//
+// Control transfers ride a single unbuffered rendezvous channel. The
+// handoff protocol is strictly alternating — the engine side sends
+// sigResume/sigKill and then receives, the coroutine side receives and
+// then sends sigYield — so exactly one party ever touches the channel
+// from each side and one channel operation per direction is the whole
+// switch cost.
 type Coro struct {
 	name     string
-	resumeCh chan coroSignal
-	yieldCh  chan struct{}
+	hand     chan coroSignal
 	started  bool
 	done     bool
 	parked   bool
 	body     func(*Coro)
+	panicMsg string
 }
 
 type coroSignal int
@@ -32,6 +39,7 @@ type coroSignal int
 const (
 	sigResume coroSignal = iota
 	sigKill
+	sigYield
 )
 
 // coroKilled is the panic value used to unwind a killed coroutine.
@@ -41,10 +49,9 @@ type coroKilled struct{ name string }
 // until the first Resume.
 func NewCoro(name string, body func(*Coro)) *Coro {
 	return &Coro{
-		name:     name,
-		resumeCh: make(chan coroSignal),
-		yieldCh:  make(chan struct{}),
-		body:     body,
+		name: name,
+		hand: make(chan coroSignal),
+		body: body,
 	}
 }
 
@@ -59,7 +66,9 @@ func (c *Coro) Parked() bool { return c.parked }
 
 // Resume transfers control into the coroutine and blocks until it parks or
 // finishes. Resuming a finished coroutine panics: it indicates a scheduler
-// bookkeeping bug.
+// bookkeeping bug. If the body panicked, the panic resurfaces here — on
+// the caller's goroutine, at the deterministic point in the simulation
+// where the coroutine was last given control.
 func (c *Coro) Resume() {
 	if c.done {
 		panic(fmt.Sprintf("sim: resume of finished coroutine %q", c.name))
@@ -68,9 +77,10 @@ func (c *Coro) Resume() {
 		c.started = true
 		go c.run()
 	} else {
-		c.resumeCh <- sigResume
+		c.hand <- sigResume
 	}
-	<-c.yieldCh
+	<-c.hand
+	c.repanic()
 }
 
 // Park yields control back to whoever resumed the coroutine and blocks the
@@ -78,8 +88,8 @@ func (c *Coro) Resume() {
 // goroutine.
 func (c *Coro) Park() {
 	c.parked = true
-	c.yieldCh <- struct{}{}
-	sig := <-c.resumeCh
+	c.hand <- sigYield
+	sig := <-c.hand
 	c.parked = false
 	if sig == sigKill {
 		panic(coroKilled{c.name})
@@ -88,7 +98,8 @@ func (c *Coro) Park() {
 
 // Kill unwinds a parked coroutine: its body panics with an internal
 // sentinel (running deferred cleanup) and the coroutine is marked done.
-// Killing an unstarted or finished coroutine is a no-op.
+// Killing an unstarted or finished coroutine is a no-op. A panic raised
+// by the body's deferred cleanup resurfaces here.
 func (c *Coro) Kill() {
 	if c.done || !c.started {
 		c.done = true
@@ -97,24 +108,33 @@ func (c *Coro) Kill() {
 	if !c.parked {
 		panic(fmt.Sprintf("sim: kill of running coroutine %q", c.name))
 	}
-	c.resumeCh <- sigKill
-	<-c.yieldCh
+	c.hand <- sigKill
+	<-c.hand
+	c.repanic()
+}
+
+// repanic relays a panic captured on the coroutine goroutine onto the
+// engine side, once.
+func (c *Coro) repanic() {
+	if c.panicMsg != "" {
+		msg := c.panicMsg
+		c.panicMsg = ""
+		panic(msg)
+	}
 }
 
 func (c *Coro) run() {
 	defer func() {
 		c.done = true
 		if r := recover(); r != nil {
-			if _, ok := r.(coroKilled); ok {
-				c.yieldCh <- struct{}{}
-				return
+			if _, ok := r.(coroKilled); !ok {
+				// Real bug in simulated code: record it and let the
+				// engine side re-panic with context, so the failure
+				// surfaces synchronously at the Resume that ran it.
+				c.panicMsg = fmt.Sprintf("sim: coroutine %q panicked: %v", c.name, r)
 			}
-			// Real bug in simulated code: re-panic on the engine side with
-			// context, after releasing the engine so the panic is visible.
-			c.yieldCh <- struct{}{}
-			panic(fmt.Sprintf("sim: coroutine %q panicked: %v", c.name, r))
 		}
-		c.yieldCh <- struct{}{}
+		c.hand <- sigYield
 	}()
 	c.body(c)
 }

@@ -1,0 +1,204 @@
+// Command bench_compare is the benchmark trajectory tool behind
+// scripts/bench.sh and the CI bench job. Two subcommands:
+//
+//	parse              read `go test -bench` output on stdin, emit BENCH JSON
+//	compare BASE CUR   exit nonzero if CUR regresses vs the BASE json
+//
+// The JSON shape is stable and diff-friendly: benchmark names (with their
+// -N GOMAXPROCS suffixes) map to {ns_op, b_op, allocs_op, extra metrics}.
+// Compare flags a regression when ns/op grows beyond -threshold (default
+// 1.20, i.e. >20% slower) or allocs/op increases at all; benchmarks
+// present on only one side are reported but never fail the gate, so
+// adding or retiring benchmarks does not break CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Schema     string                 `json:"schema"`
+	Host       map[string]string      `json:"host"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		parse(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bench_compare parse < bench.txt > BENCH.json")
+	fmt.Fprintln(os.Stderr, "       bench_compare compare [-threshold 1.2] baseline.json current.json")
+	os.Exit(2)
+}
+
+// parse reads `go test -bench` text and writes the JSON trajectory file.
+// Lines it does not recognize pass through to stderr so CI logs keep the
+// raw context.
+func parse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	fs.Parse(args)
+	out := benchFile{
+		Schema: "affinity-bench/v1",
+		Host: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		Benchmarks: map[string]benchResult{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.Host["cpu"] = strings.TrimSpace(cpu)
+		}
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		out.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read: %v", err)
+	}
+	if len(out.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal("encode: %v", err)
+	}
+}
+
+// parseBenchLine decodes one result line:
+//
+//	BenchmarkName-4   123456   78.9 ns/op   0 B/op   0 allocs/op   1.5 extra/op
+func parseBenchLine(line string) (string, benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", benchResult{}, false
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil {
+		return "", benchResult{}, false
+	}
+	res := benchResult{}
+	found := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", benchResult{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsOp = val
+			found = true
+		case "B/op":
+			res.BOp = val
+		case "allocs/op":
+			res.AllocsOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return f[0], res, found
+}
+
+// compare gates a current run against a committed baseline.
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 1.20, "fail when current ns/op exceeds baseline × threshold")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	base := load(fs.Arg(0))
+	cur := load(fs.Arg(1))
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("SKIP %-45s not in current run\n", name)
+			continue
+		}
+		ratio := 0.0
+		if b.NsOp > 0 {
+			ratio = c.NsOp / b.NsOp
+		}
+		verdict := "ok  "
+		switch {
+		case b.NsOp > 0 && ratio > *threshold:
+			verdict = "FAIL"
+			failed = true
+		case c.AllocsOp > b.AllocsOp:
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-45s %12.1f -> %12.1f ns/op  (%.2fx)  allocs %g -> %g\n",
+			verdict, name, b.NsOp, c.NsOp, ratio, b.AllocsOp, c.AllocsOp)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NEW  %-45s %12.1f ns/op\n", name, cur.Benchmarks[name].NsOp)
+		}
+	}
+	if failed {
+		fmt.Printf("\nbench_compare: regression beyond %.0f%% (or new allocations) detected\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) benchFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return f
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench_compare: "+format+"\n", args...)
+	os.Exit(1)
+}
