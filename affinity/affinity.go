@@ -35,9 +35,11 @@ import (
 	"repro/internal/perf"
 	"repro/internal/prof"
 	"repro/internal/serve"
+	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/ttcp"
+	"repro/internal/workload"
 )
 
 // Mode is one of the paper's four affinity modes.
@@ -380,3 +382,36 @@ const (
 // leading "@", from a JSON schedule file. Validate the result against
 // the machine shape before running.
 func ParseFaults(spec string) (*FaultSchedule, error) { return fault.Parse(spec) }
+
+// --- workload layer ---
+
+// WorkloadSpec declaratively selects what runs on the machine: the
+// paper's bulk ttcp transfer (default, also with per-connection
+// alternating direction for mixed read/write targets), a closed-loop
+// request/response workload over the long-lived connections, or the
+// open-loop connection-churn cell that opens, serves and closes a
+// bounded population of connections and reports tail latency. Set it on
+// Config.Workload; nil is the bulk default and leaves the run
+// byte-identical to one without the workload layer.
+type WorkloadSpec = workload.Spec
+
+// WorkloadKind tags a built-in workload.
+type WorkloadKind = workload.Kind
+
+// The built-in workload kinds.
+const (
+	WorkloadBulk     = workload.KindBulk
+	WorkloadRPC      = workload.KindRPC
+	WorkloadOpenLoop = workload.KindOpenLoop
+)
+
+// LatencySketch is the quantile sketch request latencies land in
+// (Result.Latency): log-linear buckets, ~3% relative error.
+type LatencySketch = stats.Sketch
+
+// ParseWorkload builds a workload spec from the CLI/HTTP syntax — a
+// kind followed by comma-separated key=value pairs, e.g.
+// "openloop,conns=100000,interval=40000,arrival=pareto" — or, with a
+// leading "@", from a JSON spec file. Defaults are applied and the
+// result validated.
+func ParseWorkload(spec string) (*WorkloadSpec, error) { return workload.Parse(spec) }

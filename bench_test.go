@@ -388,3 +388,31 @@ func BenchmarkAblation_Coalescing(b *testing.B) {
 		})
 	}
 }
+
+// --- Open-loop cell: 10⁵-connection churn at the default offered load ---
+
+// BenchmarkOpenLoopCell100k records the workload layer's scale point:
+// one hundred-thousand-connection open-loop cell run to completion
+// under full affinity. ns/op is the cell's wall-clock; the custom
+// metrics record the simulated tail latency and the per-connection
+// byte cost (total wire bytes over generated connections), the
+// flyweight refactor's figure of merit.
+func BenchmarkOpenLoopCell100k(b *testing.B) {
+	ws, err := affinity.ParseWorkload("openloop,conns=100000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := affinity.DefaultConfig(affinity.ModeFull, affinity.TX, 65536)
+	cfg.Workload = ws
+	var r *affinity.Result
+	for i := 0; i < b.N; i++ {
+		r = affinity.Run(cfg)
+	}
+	if r.Transactions != 100_000 {
+		b.Fatalf("cell incomplete: completed=%d abandoned=%d syndrops=%d",
+			r.Transactions, r.ConnsAbandoned, r.SynDrops)
+	}
+	b.ReportMetric(float64(r.LatencyP99Cycles)/2000, "p99-us")
+	b.ReportMetric(float64(r.LatencyP999Cycles)/2000, "p999-us")
+	b.ReportMetric(float64(r.WireBytes)/float64(r.ConnsGenerated), "wireB/conn")
+}

@@ -13,6 +13,9 @@
 //	-cache-bytes n       in-memory result-cache bound (default 256 MiB)
 //	-cache-dir path      on-disk result store (default $AFFINITY_CACHE_DIR)
 //	-drain d             shutdown drain budget after SIGINT/SIGTERM (default 30s)
+//	-workload spec       default workload for requests that omit one
+//	                     (core.ParseWorkload syntax, e.g.
+//	                     "openloop,conns=100000"; empty = bulk ttcp)
 //	-version             print the build version and exit
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (NDJSON stream), GET
@@ -49,6 +52,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory result-cache byte bound (<=0 = unbounded)")
 	cacheDir := flag.String("cache-dir", os.Getenv(cache.DirEnv), "on-disk result store directory (empty = memory only)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	workloadFlag := flag.String("workload", "", `default workload spec for requests that omit one ("kind,k=v,..." or @spec.json; empty = bulk ttcp)`)
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -57,12 +61,22 @@ func main() {
 		return
 	}
 
+	if *workloadFlag != "" {
+		// Fail fast on a malformed default rather than 400-ing every
+		// future request.
+		if _, err := core.ParseWorkload(*workloadFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-serve:", err)
+			os.Exit(2)
+		}
+	}
+
 	c := cache.New(*cacheBytes, *cacheDir)
 	srv := serve.New(serve.Options{
-		Runner:      core.NewRunner(*workers),
-		Cache:       c,
-		MaxInflight: *maxInflight,
-		Timeout:     *timeout,
+		Runner:          core.NewRunner(*workers),
+		Cache:           c,
+		MaxInflight:     *maxInflight,
+		Timeout:         *timeout,
+		DefaultWorkload: *workloadFlag,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

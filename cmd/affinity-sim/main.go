@@ -46,6 +46,17 @@
 //	                             20000000, so post-fault recovery lands
 //	                             inside short measured windows)
 //	-rto-max cycles              retransmission backoff cap (0 = default)
+//	-workload spec               workload selection: a kind
+//	                             (bulk|rpc|openloop) followed by
+//	                             comma-separated key=value pairs, e.g.
+//	                             "openloop,conns=100000,arrival=pareto",
+//	                             or @spec.json. Empty runs the paper's
+//	                             bulk ttcp workload. The rpc and openloop
+//	                             workloads report request-latency
+//	                             quantiles; openloop runs the
+//	                             connection-churn cell to completion
+//	                             (warmup/measure are ignored) and reports
+//	                             churn accounting.
 //
 // The machine shape flags compose with any mode or policy: e.g.
 // "-cpus 4 -mode full" is the §5 4P scaling point, and
@@ -88,6 +99,7 @@ func main() {
 	timeseries := flag.String("timeseries", "", "write a gauge time-series CSV to this file")
 	gaugeCycles := flag.Uint64("gauge-cycles", 2_000_000, "gauge sampling period in cycles (with -timeseries)")
 	faultsFlag := flag.String("faults", "", `fault schedule: "kind,k=v,...;..." (kinds loss|burst|flap|delay|stall|storm) or @schedule.json`)
+	workloadFlag := flag.String("workload", "", `workload spec: "kind,k=v,..." (kinds bulk|rpc|openloop, e.g. "openloop,conns=100000,arrival=pareto") or @spec.json; empty = the paper's bulk ttcp workload`)
 	rtoInit := flag.Uint64("rto-init", 0, "initial TCP retransmission timeout in cycles (0 = 200 ms default; LAN-tune for short fault runs)")
 	rtoMax := flag.Uint64("rto-max", 0, "retransmission backoff cap in cycles (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -165,6 +177,14 @@ func main() {
 			cfg.Faults = sched
 		}
 	}
+	if *workloadFlag != "" {
+		spec, err := affinity.ParseWorkload(*workloadFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Workload = spec
+	}
 	if *planOnly {
 		fmt.Println(plan)
 		for n := range plan.QueueVectors {
@@ -235,6 +255,16 @@ func main() {
 		fmt.Println(js)
 	} else {
 		fmt.Println(r)
+		if r.Requests > 0 {
+			clk := float64(cfg.CPU.ClockHz)
+			us := func(cyc uint64) float64 { return float64(cyc) / clk * 1e6 }
+			fmt.Printf("latency: %d requests, p50=%.1fµs p99=%.1fµs p999=%.1fµs\n",
+				r.Requests, us(r.LatencyP50Cycles), us(r.LatencyP99Cycles), us(r.LatencyP999Cycles))
+		}
+		if r.ConnsGenerated > 0 {
+			fmt.Printf("churn: %d generated, %d completed, %d abandoned, %d SYN drops\n",
+				r.ConnsGenerated, r.Transactions, r.ConnsAbandoned, r.SynDrops)
+		}
 		if !cfg.Faults.Empty() {
 			fmt.Printf("faults: %d wire drops, %d retransmits, goodput ratio %.4f",
 				r.WireDrops, r.Retransmits, r.GoodputRatio)

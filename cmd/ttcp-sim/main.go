@@ -69,9 +69,9 @@ func main() {
 	}
 	fmt.Printf("%s: buflen=%d, conns=%d, mode=%s\n", what, *length, *conns, mode)
 	for i, p := range m.Procs {
-		bytes := p.Sock.AppBytesOut
+		bytes := p.Sock.AppBytesOut()
 		if dir == affinity.RX {
-			bytes = p.Sock.AppBytesIn
+			bytes = p.Sock.AppBytesIn()
 		}
 		fmt.Printf("  conn %d (nic %d): %d bytes total, %d calls\n",
 			i, p.Sock.NIC.ID(), bytes, p.Transactions)

@@ -8,8 +8,9 @@
 // The simulated target serves eight initiators. Half the connections
 // stream READ responses (target transmits 64 KB data-in PDUs), half
 // absorb WRITE data (target receives 64 KB data-out PDUs), mimicking a
-// mixed file-IO benchmark. Each run reports aggregate storage throughput
-// under all four affinity modes.
+// mixed file-IO benchmark — the built-in bulk workload with alternating
+// per-connection directions ("bulk,alternate=true"). Each run reports
+// aggregate storage throughput under all four affinity modes.
 //
 //	go run ./examples/iscsi
 package main
@@ -19,7 +20,6 @@ import (
 
 	"repro/affinity"
 	"repro/internal/sim"
-	"repro/internal/ttcp"
 )
 
 const pduBytes = 64 << 10 // one iSCSI data segment per SCSI op
@@ -52,7 +52,15 @@ func main() {
 // default windows; tests pass shorter ones.
 func runTarget(mode affinity.Mode, warmup, measure uint64) (total, reads, writes float64) {
 	cfg := affinity.DefaultConfig(mode, affinity.TX, pduBytes)
-	cfg.SkipWorkload = true
+	// The mixed read/write target is the bulk workload with alternating
+	// directions: even connections follow Config.Dir (TX — READ service,
+	// target transmits), odd connections run the opposite (RX — WRITE
+	// service, target receives).
+	spec, err := affinity.ParseWorkload("bulk,alternate=true")
+	if err != nil {
+		panic(err)
+	}
+	cfg.Workload = spec
 	if warmup != 0 {
 		cfg.WarmupCycles = warmup
 	}
@@ -61,26 +69,6 @@ func runTarget(mode affinity.Mode, warmup, measure uint64) (total, reads, writes
 	}
 	m := affinity.NewMachine(cfg)
 	defer m.Shutdown()
-
-	var procs []*ttcp.Proc
-	for i := range m.Sockets {
-		dir := ttcp.TX // READ service: target transmits
-		if i%2 == 1 {
-			dir = ttcp.RX // WRITE service: target receives
-		}
-		p := ttcp.Launch(m.St, m.Sockets[i], m.Clients[i], ttcp.Config{
-			Name:     fmt.Sprintf("iscsi_trgt%d", i),
-			Dir:      dir,
-			Size:     pduBytes,
-			StartCPU: i % cfg.NumCPUs,
-			Affinity: m.AffinityMaskFor(i),
-		})
-		procs = append(procs, p)
-		if dir == ttcp.RX {
-			c := m.Clients[i]
-			m.Eng.At(0, func() { c.StartSource() })
-		}
-	}
 
 	m.Eng.Run(sim.Time(cfg.WarmupCycles))
 
@@ -93,7 +81,6 @@ func runTarget(mode affinity.Mode, warmup, measure uint64) (total, reads, writes
 	secs := float64(m.Eng.Now()-start) / float64(cfg.CPU.ClockHz)
 	reads = float64(endOut-startOut) * 8 / secs / 1e6
 	writes = float64(endIn-startIn) * 8 / secs / 1e6
-	_ = procs
 	return reads + writes, reads, writes
 }
 
@@ -102,7 +89,7 @@ func runTarget(mode affinity.Mode, warmup, measure uint64) (total, reads, writes
 func flows(m *affinity.Machine) (in, out uint64) {
 	for i, s := range m.Sockets {
 		if i%2 == 1 {
-			in += s.AppBytesIn
+			in += s.AppBytesIn()
 		} else {
 			out += m.Clients[i].BytesReceived
 		}

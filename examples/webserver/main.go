@@ -7,9 +7,10 @@
 // sends a small HTTP-like request, the server process reads it and writes
 // a response drawn from a quasi-static template mix (the paper cites a
 // characterization [24] where ~50% of requests are dynamic yet reuse
-// 30-60% quasi-static templates). Comparing no affinity against full
-// affinity shows the network-fast-path gains projecting onto this
-// workload.
+// 30-60% quasi-static templates). The whole loop is the built-in "rpc"
+// workload (internal/workload) — this example just selects it on the
+// config, runs two affinity modes and renders the comparison, including
+// the per-request latency tail the workload layer records.
 //
 //	go run ./examples/webserver
 package main
@@ -18,15 +19,12 @@ import (
 	"fmt"
 
 	"repro/affinity"
-	"repro/internal/kern"
-	"repro/internal/sim"
 )
 
-// templateMix is the response-size distribution: small dynamic fragments
-// plus larger quasi-static template bodies.
-var templateMix = []int{512, 2048, 8192, 8192, 16384, 16384, 32768, 65536}
-
-const requestSize = 384 // a typical GET with headers
+// webSpec selects the closed-loop request/response workload with the
+// quasi-static template mix — the same spec string the CLI's -workload
+// flag and the HTTP API's "workload" field accept.
+const webSpec = "rpc,mix=web,req=384"
 
 func main() {
 	fmt.Println("Static-content web server on the simulated SUT")
@@ -35,8 +33,10 @@ func main() {
 	var base *affinity.Result
 	for _, mode := range []affinity.Mode{affinity.ModeNone, affinity.ModeFull} {
 		r := runWebServer(mode, 0, 0)
-		fmt.Printf("%-9s %8.1f Mb/s responses  util=%.0f%%/%.0f%%  cost=%.2f GHz/Gbps\n",
-			mode, r.Mbps, 100*r.Util[0], 100*r.Util[1], r.CostGHzPerGbps)
+		clk := float64(r.Cfg.CPU.ClockHz)
+		fmt.Printf("%-9s %8.1f Mb/s responses  util=%.0f%%/%.0f%%  cost=%.2f GHz/Gbps  p50=%.0fµs p99=%.0fµs\n",
+			mode, r.Mbps, 100*r.Util[0], 100*r.Util[1], r.CostGHzPerGbps,
+			float64(r.LatencyP50Cycles)/clk*1e6, float64(r.LatencyP99Cycles)/clk*1e6)
 		if mode == affinity.ModeNone {
 			base = r
 		} else {
@@ -51,49 +51,16 @@ func main() {
 // shorter ones.
 func runWebServer(mode affinity.Mode, warmup, measure uint64) *affinity.Result {
 	cfg := affinity.DefaultConfig(mode, affinity.TX, 65536)
-	cfg.SkipWorkload = true
+	spec, err := affinity.ParseWorkload(webSpec)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Workload = spec
 	if warmup != 0 {
 		cfg.WarmupCycles = warmup
 	}
 	if measure != 0 {
 		cfg.MeasureCycles = measure
 	}
-	m := affinity.NewMachine(cfg)
-	defer m.Shutdown()
-
-	for i := range m.Sockets {
-		i := i
-		sock := m.Sockets[i]
-		client := m.Clients[i]
-		reqBuf := m.K.Space.AllocPage(4096, fmt.Sprintf("reqbuf%d", i))
-		rspBuf := m.K.Space.AllocPage(65536, fmt.Sprintf("rspbuf%d", i))
-
-		// The worker process: read a request, serve the next template.
-		m.K.Spawn(fmt.Sprintf("httpd%d", i), i%cfg.NumCPUs, m.AffinityMaskFor(i),
-			func(env *kern.Env) {
-				for n := 0; ; n++ {
-					sock.Read(env, reqBuf, requestSize)
-					sock.Write(env, rspBuf, templateMix[(i+n)%len(templateMix)])
-				}
-			})
-
-		// The client: issue the next request once the full response for
-		// the previous one has arrived (closed-loop, like a browser).
-		seq := 0
-		expected := templateMix[i%len(templateMix)]
-		got := 0
-		client.OnReceive(func(n int) {
-			got += n
-			for got >= expected {
-				got -= expected
-				seq++
-				expected = templateMix[(i+seq)%len(templateMix)]
-				client.SendBytes(requestSize)
-			}
-		})
-		m.Eng.At(sim.Time(1000+i*997), func() { client.SendBytes(requestSize) })
-	}
-
-	m.Eng.Run(sim.Time(cfg.WarmupCycles))
-	return m.Measure(cfg.MeasureCycles)
+	return affinity.Run(cfg)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // storedResult is the on-disk form of a Result. The Config is NOT
@@ -45,6 +46,19 @@ type storedResult struct {
 	// numbers a fresh run would produce. Absent in pre-existing cache
 	// entries, which decode it as zero.
 	Engine sim.Stats
+
+	// Workload-layer metrics: the latency sketch (its exported buckets
+	// gob-encode directly) and the open-loop cell's churn accounting. A
+	// cached replay must report bit-identical quantiles, so the whole
+	// sketch is stored, not just the three headline quantiles.
+	Requests          uint64
+	LatencyP50Cycles  uint64
+	LatencyP99Cycles  uint64
+	LatencyP999Cycles uint64
+	Latency           *stats.Sketch
+	ConnsGenerated    uint64
+	ConnsAbandoned    uint64
+	SynDrops          uint64
 }
 
 // path maps a fingerprint to its file. Keys are hex SHA-256, so they are
@@ -96,6 +110,14 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 		InvariantsChecked:  sr.InvariantsChecked,
 		InvariantViolation: sr.InvariantViolation,
 		Engine:             sr.Engine,
+		Requests:           sr.Requests,
+		LatencyP50Cycles:   sr.LatencyP50Cycles,
+		LatencyP99Cycles:   sr.LatencyP99Cycles,
+		LatencyP999Cycles:  sr.LatencyP999Cycles,
+		Latency:            sr.Latency,
+		ConnsGenerated:     sr.ConnsGenerated,
+		ConnsAbandoned:     sr.ConnsAbandoned,
+		SynDrops:           sr.SynDrops,
 	}, true
 }
 
@@ -130,6 +152,14 @@ func (c *Cache) storeDisk(key string, res *core.Result) {
 		InvariantsChecked:  res.InvariantsChecked,
 		InvariantViolation: res.InvariantViolation,
 		Engine:             res.Engine,
+		Requests:           res.Requests,
+		LatencyP50Cycles:   res.LatencyP50Cycles,
+		LatencyP99Cycles:   res.LatencyP99Cycles,
+		LatencyP999Cycles:  res.LatencyP999Cycles,
+		Latency:            res.Latency,
+		ConnsGenerated:     res.ConnsGenerated,
+		ConnsAbandoned:     res.ConnsAbandoned,
+		SynDrops:           res.SynDrops,
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 	if err != nil {

@@ -20,7 +20,7 @@ import (
 // scheme itself changes (not when the simulator changes — simulator
 // changes that alter results must be handled by operators discarding the
 // disk store, see the server's /healthz build version).
-const fingerprintVersion = "affinity-fp-v2"
+const fingerprintVersion = "affinity-fp-v3"
 
 // coveredFields records, per configuration struct the fingerprint walks,
 // the exact field set the implementation handles. TestFingerprintCoversConfig
@@ -36,7 +36,12 @@ var coveredFields = map[string][]string{
 		"Mode", "Dir", "Size", "NumCPUs", "NumNICs", "Topology", "Policy",
 		"Seed", "WarmupCycles", "MeasureCycles", "RotateIRQs", "SkipWorkload",
 		"ThinkCycles", "RecordLatency", "Trace", "GaugeCycles",
-		"CPU", "Tune", "TCP", "Faults",
+		"CPU", "Tune", "TCP", "Faults", "Workload",
+	},
+	"workload.Spec": {
+		"Kind", "Alternate", "ReqBytes", "RspBytes", "Mix",
+		"Conns", "Arrival", "IntervalCycles", "Alpha", "MaxIntervalCycles",
+		"Servers", "Backlog", "TimeoutCycles",
 	},
 	"cpu.Config":    {"ClockHz", "BaseCPI", "Penalty", "TLBEntries"},
 	"cpu.Penalties": {"MachineClear", "TCMiss", "L2Hit", "L2Miss", "LLCMiss", "ITLBWalk", "DTLBWalk", "BrMispredict", "RemoteClearPeriod"},
@@ -161,5 +166,15 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 				e.Kind, e.NIC, e.CPU, e.From, e.Until, e.Rate, e.BadRate,
 				e.PEnterBad, e.PExitBad, e.DelayCycles, e.JitterCycles, e.PeriodCycles)
 		}
+	}
+
+	// Workload spec, field by field. A nil spec and any spec that
+	// simulates as the plain bulk workload (IsDefaultBulk) are
+	// byte-identical runs, so both hash as the absence of this section.
+	if wl := cfg.Workload; !wl.IsDefaultBulk() {
+		p("workload kind=%s alt=%t req=%d rsp=%d mix=%s conns=%d arrival=%s interval=%d alpha=%g maxinterval=%d servers=%d backlog=%d timeout=%d\n",
+			wl.Kind, wl.Alternate, wl.ReqBytes, wl.RspBytes, wl.Mix,
+			wl.Conns, wl.Arrival, wl.IntervalCycles, wl.Alpha, wl.MaxIntervalCycles,
+			wl.Servers, wl.Backlog, wl.TimeoutCycles)
 	}
 }

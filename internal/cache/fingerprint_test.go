@@ -14,6 +14,7 @@ import (
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/ttcp"
+	"repro/internal/workload"
 )
 
 // TestFingerprintCoversConfig fails when any configuration struct the
@@ -37,6 +38,7 @@ func TestFingerprintCoversConfig(t *testing.T) {
 		"netdev.NICConfig": reflect.TypeOf(netdev.NICConfig{}),
 		"fault.Schedule":   reflect.TypeOf(fault.Schedule{}),
 		"fault.Event":      reflect.TypeOf(fault.Event{}),
+		"workload.Spec":    reflect.TypeOf(workload.Spec{}),
 	}
 	for name, typ := range types {
 		covered, ok := coveredFields[name]
@@ -100,6 +102,9 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 			c.Faults = &fault.Schedule{Events: []fault.Event{
 				{Kind: fault.KindLoss, NIC: -1, Rate: 0.01},
 			}}
+		},
+		"Workload": func(c *core.Config) {
+			c.Workload = &workload.Spec{Kind: workload.KindRPC}
 		},
 	}
 	for field, mutate := range mutations {
@@ -176,6 +181,52 @@ func TestFingerprintFaultSensitivity(t *testing.T) {
 		if Fingerprint(cfg) == faulted {
 			t.Errorf("changing fault %s did not change the fingerprint", field)
 		}
+	}
+}
+
+// TestFingerprintWorkloadSensitivity pins the workload corner of the
+// key: a nil spec and an explicit default-bulk spec simulate
+// byte-identically and share the baseline entry, while specs differing
+// in any field that can change a run must never collide.
+func TestFingerprintWorkloadSensitivity(t *testing.T) {
+	clean := Fingerprint(fpCfg())
+	bulk := fpCfg()
+	bulk.Workload = &workload.Spec{Kind: workload.KindBulk}
+	if Fingerprint(bulk) != clean {
+		t.Error("an explicit default-bulk spec simulates identically to nil and must share its fingerprint")
+	}
+
+	base := fpCfg()
+	base.Workload = &workload.Spec{Kind: workload.KindOpenLoop}
+	openloop := Fingerprint(base)
+	if openloop == clean {
+		t.Fatal("an openloop config must not share the bulk baseline's fingerprint")
+	}
+
+	tweaks := map[string]func(*workload.Spec){
+		"Conns":          func(s *workload.Spec) { s.Conns = 777 },
+		"Arrival":        func(s *workload.Spec) { s.Arrival = workload.ArrivalPareto },
+		"IntervalCycles": func(s *workload.Spec) { s.IntervalCycles = 123_456 },
+		"Mix":            func(s *workload.Spec) { s.Mix = workload.MixShort },
+		"RspBytes":       func(s *workload.Spec) { s.RspBytes = 4096 },
+		"Servers":        func(s *workload.Spec) { s.Servers = 3 },
+		"Backlog":        func(s *workload.Spec) { s.Backlog = 16 },
+		"TimeoutCycles":  func(s *workload.Spec) { s.TimeoutCycles = 1_000_000 },
+	}
+	for field, tweak := range tweaks {
+		cfg := fpCfg()
+		s := workload.Spec{Kind: workload.KindOpenLoop}
+		tweak(&s)
+		cfg.Workload = &s
+		if Fingerprint(cfg) == openloop {
+			t.Errorf("changing workload %s did not change the fingerprint", field)
+		}
+	}
+
+	alt := fpCfg()
+	alt.Workload = &workload.Spec{Kind: workload.KindBulk, Alternate: true}
+	if Fingerprint(alt) == clean {
+		t.Error("bulk with alternating directions must not share the plain bulk fingerprint")
 	}
 }
 

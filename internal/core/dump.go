@@ -29,7 +29,7 @@ func (m *Machine) DumpState() string {
 	for i, s := range m.Sockets {
 		fmt.Fprintf(&b, "  conn%d [%s]: inflight=%-6d rcvq=%-6d segs in/out=%d/%d acks in/out=%d/%d backlogged=%d\n",
 			i, s.State(), s.InFlight(), s.RcvQueued(),
-			s.SegsIn, s.SegsOut, s.AcksIn, s.AcksOut, s.BacklogDeferrals)
+			s.SegsIn(), s.SegsOut(), s.AcksIn(), s.AcksOut(), s.BacklogDeferrals())
 	}
 
 	for _, n := range m.NICs {

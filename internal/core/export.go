@@ -34,6 +34,17 @@ type ResultExport struct {
 	InvariantsChecked  bool     `json:"invariants_checked,omitempty"`
 	InvariantViolation string   `json:"invariant_violation,omitempty"`
 
+	// Workload-layer metrics: request-latency quantiles (cycles) for
+	// latency-recording workloads and the open-loop cell's churn
+	// accounting. Zero-valued and omitted for the bulk workload.
+	Requests          uint64 `json:"requests,omitempty"`
+	LatencyP50Cycles  uint64 `json:"latency_p50_cycles,omitempty"`
+	LatencyP99Cycles  uint64 `json:"latency_p99_cycles,omitempty"`
+	LatencyP999Cycles uint64 `json:"latency_p999_cycles,omitempty"`
+	ConnsGenerated    uint64 `json:"conns_generated,omitempty"`
+	ConnsAbandoned    uint64 `json:"conns_abandoned,omitempty"`
+	SynDrops          uint64 `json:"syn_drops,omitempty"`
+
 	OverallCPI float64 `json:"overall_cpi"`
 	OverallMPI float64 `json:"overall_mpi"`
 
@@ -75,6 +86,14 @@ func (r *Result) Export() ResultExport {
 		FlapRecoveryCycles: r.FlapRecoveryCycles,
 		InvariantsChecked:  r.InvariantsChecked,
 		InvariantViolation: r.InvariantViolation,
+
+		Requests:          r.Requests,
+		LatencyP50Cycles:  r.LatencyP50Cycles,
+		LatencyP99Cycles:  r.LatencyP99Cycles,
+		LatencyP999Cycles: r.LatencyP999Cycles,
+		ConnsGenerated:    r.ConnsGenerated,
+		ConnsAbandoned:    r.ConnsAbandoned,
+		SynDrops:          r.SynDrops,
 
 		OverallCPI: tab.Overall.CPI,
 		OverallMPI: tab.Overall.MPI,

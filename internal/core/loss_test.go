@@ -30,7 +30,7 @@ func TestLossMakesWorkloadIdleBoundNotAffinityBound(t *testing.T) {
 		r := m.Measure(cfg.MeasureCycles)
 		var rexmit, drops uint64
 		for _, s := range m.Sockets {
-			rexmit += s.Retransmits
+			rexmit += s.Retransmits()
 		}
 		for _, n := range m.NICs {
 			drops += n.WireDrops

@@ -23,6 +23,7 @@ import (
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/ttcp"
+	"repro/internal/workload"
 )
 
 // Mode is one of the paper's four affinity modes (§4).
@@ -147,6 +148,18 @@ type Config struct {
 	// always sees it.
 	Faults *fault.Schedule
 
+	// Workload selects what runs on the machine (parse one with
+	// ParseWorkload). Nil is the paper's bulk ttcp workload and is
+	// byte-identical to a run before the workload layer existed. The
+	// rpc kind replaces the bulk processes with closed-loop
+	// request/response servers; the openloop kind turns the run into a
+	// connection-churn cell that opens, serves and closes Spec.Conns
+	// connections and runs to completion (Warmup/MeasureCycles are
+	// ignored), reporting tail latency. Workload behaviour flows ONLY
+	// through this field, so the result cache's fingerprint always
+	// sees it.
+	Workload *workload.Spec
+
 	CPU  cpu.Config
 	Tune kern.Tuning
 	TCP  tcp.Config
@@ -218,6 +231,11 @@ type Machine struct {
 	Procs   []*ttcp.Proc
 	// Faults is the installed fault injector (nil for a clean run).
 	Faults *fault.Injector
+	// WL is the workload running on the machine (resolved from
+	// Config.Workload; the bulk ttcp workload by default), and view the
+	// machine handles it was launched with.
+	WL   workload.Workload
+	view *workload.Machine
 }
 
 // NewMachine builds the SUT: kernel, stack, NICs, connections and ttcp
@@ -228,6 +246,10 @@ func NewMachine(cfg Config) *Machine {
 		panic(fmt.Sprintf("core: bad machine shape %d CPUs %d NICs", cfg.NumCPUs, cfg.NumNICs))
 	}
 	plan, err := PlanFor(cfg)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	wl, err := workload.Build(cfg.Workload)
 	if err != nil {
 		panic("core: " + err.Error())
 	}
@@ -250,23 +272,28 @@ func NewMachine(cfg Config) *Machine {
 		Trace:   rec,
 	})
 	st := tcp.New(k, cfg.TCP)
-	m := &Machine{Cfg: cfg, Topo: t, Plan: plan, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st, Rec: rec}
+	m := &Machine{Cfg: cfg, Topo: t, Plan: plan, Eng: eng, Tab: tab, Ctr: ctr, K: k, St: st, Rec: rec, WL: wl}
 
 	conns := t.NumConns()
-	m.Sockets = make([]*tcp.Socket, conns)
-	m.Clients = make([]*tcp.Client, conns)
+	if wl.PreEstablish() {
+		m.Sockets = make([]*tcp.Socket, conns)
+		m.Clients = make([]*tcp.Client, conns)
+	}
 	for n := range t.NICs {
 		nic := st.AddNICWithConfig(NICConfigFor(plan, n))
 		m.NICs = append(m.NICs, nic)
 
 		// This NIC's connections, in ascending connection order (the
-		// paper's shape pairs connection i with NIC i).
-		for i := n; i < conns; i += len(t.NICs) {
-			s, c := st.NewConn(i, nic)
-			m.Sockets[i] = s
-			m.Clients[i] = c
-			if q := plan.FlowQueues[i]; q >= 0 && nic.Queues() > 1 {
-				nic.SteerFlow(i, q)
+		// paper's shape pairs connection i with NIC i). Churn workloads
+		// open their own connections instead.
+		if wl.PreEstablish() {
+			for i := n; i < conns; i += len(t.NICs) {
+				s, c := st.NewConn(i, nic)
+				m.Sockets[i] = s
+				m.Clients[i] = c
+				if q := plan.FlowQueues[i]; q >= 0 && nic.Queues() > 1 {
+					nic.SteerFlow(i, q)
+				}
 			}
 		}
 
@@ -292,25 +319,22 @@ func NewMachine(cfg Config) *Machine {
 		m.Faults = fault.Attach(cfg.Faults, eng, rec, m.NICs, k.APIC)
 	}
 
+	m.view = &workload.Machine{
+		Eng:           eng,
+		K:             k,
+		St:            st,
+		Plan:          plan,
+		NICs:          m.NICs,
+		Sockets:       m.Sockets,
+		Clients:       m.Clients,
+		Dir:           cfg.Dir,
+		Size:          cfg.Size,
+		ThinkCycles:   cfg.ThinkCycles,
+		RecordLatency: cfg.RecordLatency,
+	}
 	if !cfg.SkipWorkload {
-		for i := 0; i < conns; i++ {
-			p := ttcp.Launch(st, m.Sockets[i], m.Clients[i], ttcp.Config{
-				Name:          fmt.Sprintf("ttcp%d", i),
-				Dir:           cfg.Dir,
-				Size:          cfg.Size,
-				StartCPU:      plan.StartCPUs[i],
-				Affinity:      plan.ProcMasks[i],
-				ThinkCycles:   cfg.ThinkCycles,
-				RecordLatency: cfg.RecordLatency,
-			})
-			m.Procs = append(m.Procs, p)
-		}
-		if cfg.Dir == ttcp.RX {
-			for _, c := range m.Clients {
-				c := c
-				eng.At(0, func() { c.StartSource() })
-			}
-		}
+		wl.Launch(m.view)
+		m.Procs = m.view.Procs
 	}
 	k.StartTicks()
 	return m
@@ -340,29 +364,14 @@ func (m *Machine) AffinityMaskFor(i int) uint32 { return m.Plan.ProcMasks[i] }
 // Shutdown reaps every coroutine; call when done with the machine.
 func (m *Machine) Shutdown() { m.K.Shutdown() }
 
-// appBytes reports application-level goodput so far: bytes the clients
-// received (TX) or bytes the SUT's readers consumed (RX).
-func (m *Machine) appBytes() uint64 {
-	var total uint64
-	if m.Cfg.Dir == ttcp.TX {
-		for _, c := range m.Clients {
-			total += c.BytesReceived
-		}
-	} else {
-		for _, s := range m.Sockets {
-			total += s.AppBytesIn
-		}
-	}
-	return total
-}
+// appBytes reports application-level goodput so far, as the workload
+// defines it: for bulk ttcp, bytes the clients received (TX) or bytes
+// the SUT's readers consumed (RX).
+func (m *Machine) appBytes() uint64 { return m.WL.Bytes(m.view) }
 
-func (m *Machine) transactions() uint64 {
-	var total uint64
-	for _, p := range m.Procs {
-		total += p.Transactions
-	}
-	return total
-}
+// transactions reports completed application operations so far, as the
+// workload defines them.
+func (m *Machine) transactions() uint64 { return m.WL.Transactions(m.view) }
 
 func (m *Machine) drops() uint64 {
 	var total uint64
@@ -373,16 +382,10 @@ func (m *Machine) drops() uint64 {
 }
 
 // retransmits sums TCP retransmissions on both ends: SUT sockets (TX
-// recovery) and the far-end clients (RX recovery).
+// recovery) and the far-end clients (RX recovery), over live and
+// released (churned) connections alike.
 func (m *Machine) retransmits() uint64 {
-	var total uint64
-	for _, s := range m.Sockets {
-		total += s.Retransmits
-	}
-	for _, c := range m.Clients {
-		total += c.Retransmits
-	}
-	return total
+	return m.St.SocketRetransmits() + m.St.ClientRetransmits()
 }
 
 // wireDrops sums frames lost on the wire: random/burst loss plus

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/topo"
 	"repro/internal/ttcp"
+	"repro/internal/workload"
 )
 
 // ParseMode resolves an affinity mode from its common spellings,
@@ -38,6 +39,15 @@ func ParseDirection(s string) (ttcp.Direction, error) {
 		return ttcp.RX, nil
 	}
 	return 0, fmt.Errorf("unknown direction %q (tx|rx)", s)
+}
+
+// ParseWorkload resolves a workload spec from the shared CLI/HTTP
+// syntax: a kind followed by comma-separated key=value pairs
+// ("openloop,conns=100000,arrival=pareto"), or "@file.json" to load a
+// JSON Spec. CLI flags, the HTTP API and the examples all share this
+// parser. Defaults are applied and the spec validated.
+func ParseWorkload(s string) (*workload.Spec, error) {
+	return workload.Parse(s)
 }
 
 // ParsePolicy resolves a built-in placement policy, accepting the same

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,26 @@ type Result struct {
 	GoodputRatio       float64
 	FlapRecoveryCycles []uint64
 
+	// Workload-layer metrics — zero/nil for the bulk ttcp workload,
+	// which records no per-request latency.
+	//
+	// Requests counts the per-request latency samples recorded in the
+	// window; LatencyP50/P99/P999Cycles are the windowed latency
+	// quantiles in cycles (divide by Cfg.CPU.ClockHz for seconds) and
+	// Latency the full windowed sketch they come from. For the openloop
+	// workload, ConnsGenerated/ConnsAbandoned count the cell's arrival
+	// accounting (completed connections are Transactions) and SynDrops
+	// the connection attempts the overloaded SUT refused at the listener
+	// or receive ring.
+	Requests          uint64
+	LatencyP50Cycles  uint64
+	LatencyP99Cycles  uint64
+	LatencyP999Cycles uint64
+	Latency           *stats.Sketch
+	ConnsGenerated    uint64
+	ConnsAbandoned    uint64
+	SynDrops          uint64
+
 	// InvariantsChecked is set when the post-run invariant pass ran
 	// (faulted runs via Run); InvariantViolation holds its failure, if
 	// any.
@@ -71,17 +92,38 @@ type Result struct {
 	Series *Series
 }
 
+// openLoopHorizon bounds a run-to-completion cell: far beyond any real
+// cell's makespan, it only matters if the workload's termination
+// accounting is broken (the give-up timers make that a bug, not a
+// tuning question).
+const openLoopHorizon = uint64(1) << 61
+
 // Run builds a machine, warms it up, measures one window and shuts the
 // machine down. This is the primary entry point for experiments. A
 // faulted run additionally drains the machine afterwards and checks
 // the resource invariants (CheckInvariants), reporting any violation
 // on the result.
+//
+// An open-loop workload (workload.OpenLoop) inverts the protocol: the
+// cell runs to completion — the workload halts the engine once every
+// generated connection is terminal — so WarmupCycles and MeasureCycles
+// are ignored and ElapsedCycles is the cell's makespan.
 func Run(cfg Config) *Result {
 	m := NewMachine(cfg)
 	defer m.Shutdown()
+	if m.WL.OpenLoop() && !cfg.SkipWorkload {
+		r := m.Measure(openLoopHorizon)
+		if !cfg.Faults.Empty() && m.WL.Quiescible() {
+			r.InvariantsChecked = true
+			if err := m.CheckInvariants(); err != nil {
+				r.InvariantViolation = err.Error()
+			}
+		}
+		return r
+	}
 	m.Eng.Run(sim.Time(cfg.WarmupCycles))
 	r := m.Measure(cfg.MeasureCycles)
-	if !cfg.Faults.Empty() {
+	if !cfg.Faults.Empty() && m.WL.Quiescible() {
 		r.InvariantsChecked = true
 		if err := m.CheckInvariants(); err != nil {
 			r.InvariantViolation = err.Error()
@@ -101,6 +143,10 @@ func (m *Machine) Measure(window uint64) *Result {
 	startWireDrops := m.wireDrops()
 	startWireBytes := m.wireBytes()
 	snap := m.Ctr.Snapshot()
+	var lat0 *stats.Sketch
+	if l := m.WL.Latency(); l != nil {
+		lat0 = l.Clone()
+	}
 	idle0 := make([]uint64, len(m.K.CPUs))
 	for i, c := range m.K.CPUs {
 		idle0[i] = c.IdleCycles()
@@ -129,6 +175,25 @@ func (m *Machine) Measure(window uint64) *Result {
 	}
 	if r.WireBytes > 0 {
 		r.GoodputRatio = float64(r.Bytes) / float64(r.WireBytes)
+	}
+	if l := m.WL.Latency(); l != nil {
+		d := l.Diff(lat0)
+		if d.Count() > 0 {
+			r.Latency = d
+			r.Requests = d.Count()
+			r.LatencyP50Cycles = d.Quantile(0.50)
+			r.LatencyP99Cycles = d.Quantile(0.99)
+			r.LatencyP999Cycles = d.Quantile(0.999)
+		}
+	}
+	if c, ok := m.WL.(interface {
+		Generated() uint64
+		Abandoned() uint64
+		SynDrops() uint64
+	}); ok {
+		r.ConnsGenerated = c.Generated()
+		r.ConnsAbandoned = c.Abandoned()
+		r.SynDrops = c.SynDrops()
 	}
 	// Flap recoveries are one-shot episodes, not a windowed rate: the
 	// result carries every recovery completed by the end of this window.

@@ -56,6 +56,11 @@ type Options struct {
 	// Version reported by /healthz and /metrics; "" resolves from build
 	// info.
 	Version string
+	// DefaultWorkload is a workload spec (core.ParseWorkload syntax)
+	// applied to requests that leave "workload" empty; "" keeps the
+	// bulk default. Malformed values surface on the first request as a
+	// 400, same as a client-sent spec.
+	DefaultWorkload string
 }
 
 // Server is the HTTP face of the simulator.
@@ -66,9 +71,12 @@ type Server struct {
 	sem     chan struct{}
 	timeout time.Duration
 	version string
-	metrics *metrics
-	engines engineAgg
-	mux     *http.ServeMux
+	// defaultWorkload fills RunRequest.Workload when a request leaves
+	// it empty.
+	defaultWorkload string
+	metrics         *metrics
+	engines         engineAgg
+	mux             *http.ServeMux
 }
 
 // engineAgg accumulates scheduler counters across every result the
@@ -129,12 +137,13 @@ func (a *engineAgg) snapshot() EngineHealth {
 // New assembles a Server.
 func New(opts Options) *Server {
 	s := &Server{
-		runner:  opts.Runner,
-		cache:   opts.Cache,
-		timeout: opts.Timeout,
-		version: opts.Version,
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
+		runner:          opts.Runner,
+		cache:           opts.Cache,
+		timeout:         opts.Timeout,
+		version:         opts.Version,
+		defaultWorkload: opts.DefaultWorkload,
+		metrics:         newMetrics(),
+		mux:             http.NewServeMux(),
 	}
 	if s.runner == nil {
 		s.runner = core.NewRunner(0)
@@ -334,6 +343,12 @@ type RunRequest struct {
 	// against the machine shape and run horizon. Empty means the clean
 	// baseline.
 	Faults string `json:"faults"`
+
+	// Workload is an inline workload spec (core.ParseWorkload syntax,
+	// e.g. "openloop,conns=100000,arrival=pareto" or "rpc,mix=web").
+	// Empty means the paper's bulk ttcp workload (or the server's
+	// configured default).
+	Workload string `json:"workload"`
 }
 
 // config resolves the request into a validated core.Config.
@@ -418,6 +433,13 @@ func (rq RunRequest) config() (core.Config, error) {
 			cfg.Faults = sched
 		}
 	}
+	if rq.Workload != "" {
+		spec, err := core.ParseWorkload(rq.Workload)
+		if err != nil {
+			return core.Config{}, &fieldError{field: "workload", err: err}
+		}
+		cfg.Workload = spec
+	}
 	return cfg, nil
 }
 
@@ -437,6 +459,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var rq RunRequest
 	if !decode(w, r, &rq) {
 		return
+	}
+	if rq.Workload == "" {
+		rq.Workload = s.defaultWorkload
 	}
 	cfg, err := rq.config()
 	if err != nil {
@@ -490,6 +515,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var rq SweepRequest
 	if !decode(w, r, &rq) {
 		return
+	}
+	if rq.Workload == "" {
+		rq.Workload = s.defaultWorkload
 	}
 	base, err := rq.config()
 	if err != nil {

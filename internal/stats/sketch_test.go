@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestSketchExactSmallValues(t *testing.T) {
+	k := NewSketch()
+	for v := uint64(0); v < 32; v++ {
+		k.Add(v)
+	}
+	if got := k.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := k.Quantile(1); got != 31 {
+		t.Fatalf("q1 = %d, want 31", got)
+	}
+	if got := k.Count(); got != 32 {
+		t.Fatalf("count = %d, want 32", got)
+	}
+}
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	k := NewSketch()
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		k.Add(uint64(i) * 100) // 100 .. 10M cycles, uniform
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 5e6}, {0.99, 9.9e6}, {0.999, 9.99e6}} {
+		got := float64(k.Quantile(tc.q))
+		if rel := (got - tc.want) / tc.want; rel < -0.002 || rel > 0.05 {
+			t.Errorf("q%.3f = %.0f, want %.0f ±5%%", tc.q, got, tc.want)
+		}
+	}
+	if k.Quantile(1) != k.MaxVal {
+		t.Errorf("q1 = %d, want max %d", k.Quantile(1), k.MaxVal)
+	}
+}
+
+func TestSketchDiff(t *testing.T) {
+	k := NewSketch()
+	for i := 0; i < 1000; i++ {
+		k.Add(1000)
+	}
+	snap := k.Clone()
+	for i := 0; i < 500; i++ {
+		k.Add(2000)
+	}
+	d := k.Diff(snap)
+	if d.Count() != 500 {
+		t.Fatalf("diff count = %d, want 500", d.Count())
+	}
+	if q := d.Quantile(0.5); q < 2000-2000/sketchSubBuckets || q > 2000+2000/sketchSubBuckets {
+		t.Fatalf("diff median = %d, want ~2000", q)
+	}
+	if d.Diff(nil).Count() != 500 {
+		t.Fatalf("Diff(nil) should clone")
+	}
+}
+
+func TestSketchDeterministicAndGob(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	vals := []uint64{0, 1, 31, 32, 63, 1 << 20, 1<<40 + 12345, ^uint64(0)}
+	for _, v := range vals {
+		a.Add(v)
+		b.Add(v)
+	}
+	var ab, bb bytes.Buffer
+	if err := gob.NewEncoder(&ab).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&bb).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatalf("same inputs produced different encodings")
+	}
+	var back Sketch
+	if err := gob.NewDecoder(&ab).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != a.Count() || back.Quantile(0.99) != a.Quantile(0.99) {
+		t.Fatalf("gob round-trip changed sketch")
+	}
+}

@@ -53,18 +53,18 @@ func TestRetransTimerExponentialBackoff(t *testing.T) {
 	if got := r.s.CurrentRTO(); got != rtoInit {
 		t.Fatalf("fresh transmission RTO = %d, want %d", got, rtoInit)
 	}
-	rexmits := r.s.Retransmits
+	rexmits := r.s.Retransmits()
 	prevGap := sim.Time(0)
 	sawCap := false
 	for i := 0; i < 6; i++ {
 		start := r.eng.Now()
-		for r.s.Retransmits == rexmits {
+		for r.s.Retransmits() == rexmits {
 			r.eng.Run(r.eng.Now() + 1_000_000)
 			if r.eng.Now()-start > 3*rtoMax {
 				t.Fatalf("retransmission %d never happened", i)
 			}
 		}
-		rexmits = r.s.Retransmits
+		rexmits = r.s.Retransmits()
 		gap := r.eng.Now() - start
 		if prevGap != 0 {
 			switch {

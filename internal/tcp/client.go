@@ -24,6 +24,13 @@ type Client struct {
 	delackArmed  bool
 	window       int
 
+	// opening is set while a client-initiated (active) open is in
+	// flight: the SYN is out and the SUT's SYN|ACK will establish the
+	// connection; onEstab observes the establishment (openloop workloads
+	// queue their request from it).
+	opening bool
+	onEstab func()
+
 	// Source state.
 	active bool
 	sndNxt uint64
@@ -96,6 +103,19 @@ func (c *Client) handle(f netdev.WireFrame) {
 	// Connection management: the ideal client accepts any open and
 	// acknowledges any close immediately.
 	if f.Flags&netdev.FlagSyn != 0 {
+		if c.opening {
+			// SYN|ACK answering our active open: established. The frame
+			// carries the SUT's initial window; pump releases any request
+			// bytes queued while the handshake was in flight.
+			c.opening = false
+			c.sutWnd = f.Window
+			if cb := c.onEstab; cb != nil {
+				c.onEstab = nil
+				cb()
+			}
+			c.pump()
+			return
+		}
 		c.nic.InjectFromWire(netdev.WireFrame{
 			Conn:   c.conn,
 			Window: c.window,
@@ -229,9 +249,59 @@ func (c *Client) SendBytes(n int) {
 // the client receives from the SUT.
 func (c *Client) OnReceive(cb func(n int)) { c.onRecv = cb }
 
+// --- active open / close (connection-churn workloads) ---
+
+// NewActiveClient creates the far-end model for a connection the client
+// side opens actively: the client is bound for demux immediately, but no
+// SUT socket exists until its SYN reaches the stack's listener (passive
+// open). Returns nil in place of a Socket by design — the server obtains
+// the socket from Listener.Accept.
+func (st *Stack) NewActiveClient(conn int, nic *netdev.NIC) *Client {
+	if st.lookupClient(conn) != nil {
+		panic("tcp: duplicate client connection")
+	}
+	c := newClient(st, conn, nic)
+	c.opening = true
+	st.bindClient(conn, c)
+	return c
+}
+
+// OnEstablished registers cb, invoked once when the SUT's SYN|ACK
+// arrives. Register before Open.
+func (c *Client) OnEstablished(cb func()) { c.onEstab = cb }
+
+// Open sends the SYN toward the SUT. If the SUT's receive ring drops it
+// (overload) or the listener refuses it, no SYN|ACK ever comes back and
+// the connection silently never establishes — the workload accounts
+// those as connection drops. No SYN retry is modelled.
+func (c *Client) Open() {
+	c.nic.InjectFromWire(netdev.WireFrame{
+		Conn:   c.conn,
+		Window: c.window,
+		Flags:  netdev.FlagSyn,
+	})
+}
+
+// Close sends a pure FIN toward the SUT (client-initiated close, fire
+// and forget: the model sends no FIN|ACK back for a passive close).
+func (c *Client) Close() {
+	c.nic.InjectFromWire(netdev.WireFrame{
+		Conn:  c.conn,
+		Flags: netdev.FlagFin,
+	})
+}
+
+// Opening reports whether an active open is still waiting for its
+// SYN|ACK.
+func (c *Client) Opening() bool { return c.opening }
+
 // pump sends as many MSS segments as the SUT's advertised window allows.
 // Link serialization inside the NIC paces actual delivery.
 func (c *Client) pump() {
+	if c.opening {
+		// Nothing moves until the handshake completes.
+		return
+	}
 	mss := c.st.Cfg.MSS
 	for {
 		want, fromBacklog := 0, false

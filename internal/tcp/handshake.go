@@ -43,13 +43,13 @@ func (s State) String() string {
 }
 
 // State reports the socket's connection state.
-func (s *Socket) State() State { return s.state }
+func (s *Socket) State() State { return s.ctl().state }
 
 // NewConnClosed creates the socket/client pair like NewConn but leaves
 // the connection unestablished; the caller drives Connect from a task.
 func (st *Stack) NewConnClosed(conn int, nic *netdev.NIC) (*Socket, *Client) {
 	s, c := st.NewConn(conn, nic)
-	s.state = StateClosed
+	s.ctl().state = StateClosed
 	return s, c
 }
 
@@ -63,19 +63,20 @@ func (s *Socket) Connect(env *kern.Env) {
 	if env.Task() == nil {
 		panic("tcp: Connect from softirq context")
 	}
-	if s.state == StateEstablished {
+	ctl := s.ctl()
+	if ctl.state == StateEstablished {
 		return
 	}
 	st := s.st
 	s.lockSock(env)
 	env.Run(st.p.tcpConnect, func(x *cpu.Exec) {
 		x.Instr(900, 0.17, 0.01).
-			Load(s.ctxAddr, 512).Store(s.ctxAddr, 256).
-			Store(s.sockAddr, 128)
+			Load(ctl.ctxAddr, 512).Store(ctl.ctxAddr, 256).
+			Store(ctl.sockAddr, 128)
 	})
-	s.state = StateSynSent
+	ctl.state = StateSynSent
 	syn := st.Pool.AllocAckSkb(env)
-	s.AcksOut++
+	s.stat().acksOut++
 	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
 		Frame: netdev.WireFrame{
 			Conn:   s.Conn,
@@ -85,8 +86,8 @@ func (s *Socket) Connect(env *kern.Env) {
 		Cookie: syn,
 	})
 	s.releaseSock(env)
-	for s.state != StateEstablished {
-		env.Sleep(s.connWait)
+	for ctl.state != StateEstablished {
+		env.Sleep(ctl.connWait)
 	}
 }
 
@@ -96,17 +97,18 @@ func (s *Socket) Close(env *kern.Env) {
 	if env.Task() == nil {
 		panic("tcp: Close from softirq context")
 	}
-	if s.state == StateClosed {
+	ctl := s.ctl()
+	if ctl.state == StateClosed {
 		return
 	}
 	st := s.st
 	s.lockSock(env)
 	env.Run(st.p.tcpClose, func(x *cpu.Exec) {
 		x.Instr(700, 0.17, 0.01).
-			Load(s.ctxAddr, 384).Store(s.ctxAddr, 128).
-			Store(s.sockAddr, 128)
+			Load(ctl.ctxAddr, 384).Store(ctl.ctxAddr, 128).
+			Store(ctl.sockAddr, 128)
 	})
-	s.state = StateFinWait
+	ctl.state = StateFinWait
 	fin := st.Pool.AllocAckSkb(env)
 	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
 		Frame: netdev.WireFrame{
@@ -116,8 +118,21 @@ func (s *Socket) Close(env *kern.Env) {
 		Cookie: fin,
 	})
 	s.releaseSock(env)
-	for s.state != StateClosed {
-		env.Sleep(s.connWait)
+	for ctl.state != StateClosed {
+		env.Sleep(ctl.connWait)
+	}
+}
+
+// WaitClose blocks the calling task until the far end closes the
+// connection (passive close: servers park here after writing their
+// response, then Release the slot).
+func (s *Socket) WaitClose(env *kern.Env) {
+	if env.Task() == nil {
+		panic("tcp: WaitClose from softirq context")
+	}
+	ctl := s.ctl()
+	for ctl.state != StateClosed {
+		env.Sleep(ctl.connWait)
 	}
 }
 
@@ -125,27 +140,36 @@ func (s *Socket) Close(env *kern.Env) {
 // true if the packet was a control segment (fully consumed).
 func (s *Socket) rcvControl(env *kern.Env, f netdev.WireFrame) bool {
 	st := s.st
+	ctl := s.ctl()
 	switch {
 	case f.Flags&netdev.FlagSyn != 0:
 		env.Run(st.p.tcpConnect, func(x *cpu.Exec) {
 			x.Instr(500, 0.17, 0.01).
-				Load(s.ctxAddr, 256).Store(s.ctxAddr, 128)
+				Load(ctl.ctxAddr, 256).Store(ctl.ctxAddr, 128)
 		})
-		if s.state == StateSynSent {
+		if ctl.state == StateSynSent {
 			// SYN|ACK for our active open.
-			s.state = StateEstablished
-			s.sndWnd = f.Window
-			s.connWait.WakeAll(st.K, env)
+			ctl.state = StateEstablished
+			s.tx().sndWnd = f.Window
+			ctl.connWait.WakeAll(st.K, env)
 		}
 		return true
 	case f.Flags&netdev.FlagFin != 0:
 		env.Run(st.p.tcpClose, func(x *cpu.Exec) {
 			x.Instr(400, 0.17, 0.01).
-				Load(s.ctxAddr, 256).Store(s.ctxAddr, 128)
+				Load(ctl.ctxAddr, 256).Store(ctl.ctxAddr, 128)
 		})
-		if s.state == StateFinWait {
-			s.state = StateClosed
-			s.connWait.WakeAll(st.K, env)
+		switch ctl.state {
+		case StateFinWait:
+			// FIN|ACK completing our active close.
+			ctl.state = StateClosed
+			ctl.connWait.WakeAll(st.K, env)
+		case StateEstablished:
+			// Passive close: the far end is done with the conversation.
+			// No FIN|ACK reply is modelled (control segments are
+			// sequence-free); wake tasks parked in WaitClose.
+			ctl.state = StateClosed
+			ctl.connWait.WakeAll(st.K, env)
 		}
 		return true
 	}

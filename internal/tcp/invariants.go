@@ -11,25 +11,26 @@ import "repro/internal/sim"
 
 // RetransQLen is the number of unacknowledged segments queued for
 // possible retransmission.
-func (s *Socket) RetransQLen() int { return len(s.retransQ) }
+func (s *Socket) RetransQLen() int { return len(s.tx().retransQ) }
 
 // BacklogLen is the number of packets parked on the socket backlog
 // (arrived while a user held the socket).
-func (s *Socket) BacklogLen() int { return len(s.backlog) }
+func (s *Socket) BacklogLen() int { return len(s.ctl().backlog) }
 
 // RetransTimerActive reports whether the retransmission timer is
 // armed.
-func (s *Socket) RetransTimerActive() bool { return s.retransTimer.Active() }
+func (s *Socket) RetransTimerActive() bool { return s.ctl().retransTimer.Active() }
 
 // SKBResident counts the pool skbs this socket currently owns: receive
 // queue, retransmit queue, a Nagle tail under construction, and
 // backlogged receive packets still carrying their ring buffer.
 func (s *Socket) SKBResident() int {
-	n := len(s.rcvQ) + len(s.retransQ)
-	if s.tail != nil {
+	tx, rx, ctl := s.tx(), s.rx(), s.ctl()
+	n := len(rx.rcvQ) + len(tx.retransQ)
+	if tx.tail != nil {
 		n++
 	}
-	for _, pkt := range s.backlog {
+	for _, pkt := range ctl.backlog {
 		if _, ok := pkt.Cookie.(*SKB); ok {
 			n++
 		}
@@ -39,24 +40,27 @@ func (s *Socket) SKBResident() int {
 
 // HasTail reports whether a Nagle tail with payload is being held for
 // later transmission.
-func (s *Socket) HasTail() bool { return s.tail != nil && s.tail.Len > 0 }
+func (s *Socket) HasTail() bool {
+	tail := s.tx().tail
+	return tail != nil && tail.Len > 0
+}
 
 // RcvNxt, SndUna and SndNxt expose the socket's sequence-space
 // positions (next byte expected, oldest unacknowledged, next to send).
-func (s *Socket) RcvNxt() uint64 { return s.rcvNxt }
-func (s *Socket) SndUna() uint64 { return s.sndUna }
-func (s *Socket) SndNxt() uint64 { return s.sndNxt }
+func (s *Socket) RcvNxt() uint64 { return s.rx().rcvNxt }
+func (s *Socket) SndUna() uint64 { return s.tx().sndUna }
+func (s *Socket) SndNxt() uint64 { return s.tx().sndNxt }
 
 // RTOBackoff is the current consecutive-timeout count; CurrentRTO is
 // the timeout the next (re)arm would use. Test visibility for the
 // exponential-backoff machinery.
-func (s *Socket) RTOBackoff() uint     { return s.rtoBackoff }
+func (s *Socket) RTOBackoff() uint     { return s.tx().rtoBackoff }
 func (s *Socket) CurrentRTO() sim.Time { return s.rto() }
-func (s *Socket) OwnedByUser() bool    { return s.ownedByUser }
+func (s *Socket) OwnedByUser() bool    { return s.ctl().ownedByUser }
 
 // DelackArmed reports whether the delayed-ACK timer is armed (quiesce
 // checks; it self-clears within 200 µs).
-func (s *Socket) DelackArmed() bool { return s.delackArmed }
+func (s *Socket) DelackArmed() bool { return s.ctl().delackArmed }
 
 // Client sequence positions, for byte-conservation checks against the
 // SUT socket at the other end of the wire.

@@ -46,22 +46,23 @@ func TestProtocolInvariantsUnderMixedLoad(t *testing.T) {
 	check := func() {
 		for i, pc := range conns {
 			s := pc.s
-			if s.sndUna > s.sndNxt {
+			tx, rx := s.tx(), s.rx()
+			if tx.sndUna > tx.sndNxt {
 				violations = append(violations, "snd_una beyond snd_nxt")
 			}
 			if s.InFlight() < 0 {
 				violations = append(violations, "negative in-flight")
 			}
-			if s.sndBufBytes < 0 || s.rcvQBytes < 0 {
+			if tx.sndBufBytes < 0 || rx.rcvQBytes < 0 {
 				violations = append(violations, "negative buffer accounting")
 			}
-			if s.sndBufBytes > r.st.Cfg.SndBuf+skbTruesize {
+			if tx.sndBufBytes > r.st.Cfg.SndBuf+skbTruesize {
 				violations = append(violations, "send buffer overrun")
 			}
 			if w := s.rcvWindow(); w < 0 {
 				violations = append(violations, "negative window")
 			}
-			if uint64(len(s.rcvQ))*uint64(skbTruesize) != uint64(s.rcvQBytes) {
+			if uint64(len(rx.rcvQ))*uint64(skbTruesize) != uint64(rx.rcvQBytes) {
 				// every queued skb accounts exactly one truesize
 				violations = append(violations, "rcvQ accounting drift")
 			}
@@ -123,13 +124,13 @@ func TestQuiescentStateAfterDrain(t *testing.T) {
 	if r.s.InFlight() != 0 {
 		t.Fatalf("in flight %d after drain", r.s.InFlight())
 	}
-	if len(r.s.retransQ) != 0 {
-		t.Fatalf("retransmit queue holds %d skbs after drain", len(r.s.retransQ))
+	if len(r.s.tx().retransQ) != 0 {
+		t.Fatalf("retransmit queue holds %d skbs after drain", len(r.s.tx().retransQ))
 	}
-	if r.s.sndBufBytes != 0 {
-		t.Fatalf("send buffer accounting %d after drain", r.s.sndBufBytes)
+	if r.s.tx().sndBufBytes != 0 {
+		t.Fatalf("send buffer accounting %d after drain", r.s.tx().sndBufBytes)
 	}
-	if r.s.retransTimer.Active() {
+	if r.s.RetransTimerActive() {
 		t.Fatal("retransmit timer armed after drain")
 	}
 	if got := r.c.BytesReceived; got != 240_000 {

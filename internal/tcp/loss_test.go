@@ -24,7 +24,7 @@ func TestLossyTransmitRecoversExactly(t *testing.T) {
 	r.eng.Run(r.eng.Now() + 2_000_000_000)
 	if !done {
 		t.Fatalf("writer stalled: %d bytes delivered of %d, %d wire drops, %d rexmits",
-			r.c.BytesReceived, total, r.nic.WireDrops, r.s.Retransmits)
+			r.c.BytesReceived, total, r.nic.WireDrops, r.s.Retransmits())
 	}
 	if r.c.BytesReceived != total {
 		t.Fatalf("client received %d bytes, want exactly %d", r.c.BytesReceived, total)
@@ -32,7 +32,7 @@ func TestLossyTransmitRecoversExactly(t *testing.T) {
 	if r.nic.WireDrops == 0 {
 		t.Fatal("loss rate had no effect")
 	}
-	if r.s.Retransmits == 0 {
+	if r.s.Retransmits() == 0 {
 		t.Fatal("no retransmissions despite drops")
 	}
 	if err := r.st.Pool.check(); err != nil {
@@ -58,10 +58,10 @@ func TestLossyReceiveRecoversExactly(t *testing.T) {
 	r.eng.Run(30_000_000_000)
 	if got != reads*size {
 		t.Fatalf("read %d bytes of %d (drops=%d, client rexmits=%d, sut ooo=%d)",
-			got, reads*size, r.nic.WireDrops, r.c.Retransmits, r.s.OutOfOrderDrops)
+			got, reads*size, r.nic.WireDrops, r.c.Retransmits, r.s.OutOfOrderDrops())
 	}
-	if r.s.AppBytesIn != uint64(reads*size) {
-		t.Fatalf("socket delivered %d", r.s.AppBytesIn)
+	if r.s.AppBytesIn() != uint64(reads*size) {
+		t.Fatalf("socket delivered %d", r.s.AppBytesIn())
 	}
 	if r.nic.WireDrops == 0 {
 		t.Fatal("loss rate had no effect")
@@ -100,8 +100,8 @@ func TestNoSpuriousRetransmitsOnCleanLink(t *testing.T) {
 		}
 	})
 	r.eng.Run(4_000_000_000)
-	if r.s.Retransmits != 0 {
-		t.Fatalf("%d spurious retransmissions on a clean link", r.s.Retransmits)
+	if r.s.Retransmits() != 0 {
+		t.Fatalf("%d spurious retransmissions on a clean link", r.s.Retransmits())
 	}
 	if r.c.OutOfOrder != 0 {
 		t.Fatalf("%d out-of-order frames on a clean link", r.c.OutOfOrder)

@@ -26,8 +26,10 @@ const poolBatch = 32
 
 // SKB is a socket buffer: a header region plus a data buffer, both at
 // simulated addresses. TCP payload occupies [DataAddr, DataAddr+Len).
+// SKBs live as values in the pool's slab array (fixed size, so *SKB
+// pointers are stable) and circulate by int32 index.
 type SKB struct {
-	idx      int
+	idx      int32
 	HeadAddr mem.Addr
 	DataAddr mem.Addr
 
@@ -42,9 +44,10 @@ func (s *SKB) Remaining() int { return s.Len - s.Consumed }
 
 // Clone is a transmit clone: its own header, sharing the original's data
 // buffer (skb_clone semantics — the original stays on the retransmit
-// queue until acknowledged, the clone rides down to the device).
+// queue until acknowledged, the clone rides down to the device). Clones
+// live in a value slab like SKBs.
 type Clone struct {
-	idx      int
+	idx      int32
 	HeadAddr mem.Addr
 	Data     mem.Addr
 	Len      int
@@ -71,13 +74,15 @@ type Pool struct {
 	sharedAddr mem.Addr
 	cpuAddr    []mem.Addr
 
-	skbs      []*SKB
-	freeSKBs  []int // shared list
-	clones    []*Clone
-	freeClone []int // shared list
+	// skbs and clones are value slabs sized once at construction (their
+	// element pointers must stay stable); objects circulate by index.
+	skbs      []SKB
+	freeSKBs  []int32 // shared list
+	clones    []Clone
+	freeClone []int32 // shared list
 
-	cpuSKBs   [][]int // per-CPU array caches
-	cpuClones [][]int
+	cpuSKBs   [][]int32 // per-CPU array caches
+	cpuClones [][]int32
 
 	// Stats.
 	SKBAllocs, SKBFrees     uint64
@@ -99,26 +104,28 @@ func newPool(st *Stack, nSKB, nClone int) *Pool {
 	for i := 0; i < ncpu; i++ {
 		p.cpuAddr = append(p.cpuAddr, k.Space.Alloc(mem.LineSize, fmt.Sprintf("skb_cpucache%d", i)))
 	}
-	p.cpuSKBs = make([][]int, ncpu)
-	p.cpuClones = make([][]int, ncpu)
+	p.cpuSKBs = make([][]int32, ncpu)
+	p.cpuClones = make([][]int32, ncpu)
 
 	headers := k.Space.AllocPage(nSKB*skbHeaderBytes, "skb_headers")
 	data := k.Space.AllocPage(nSKB*skbDataBytes, "skb_data")
+	p.skbs = make([]SKB, nSKB)
 	for i := 0; i < nSKB; i++ {
-		p.skbs = append(p.skbs, &SKB{
-			idx:      i,
+		p.skbs[i] = SKB{
+			idx:      int32(i),
 			HeadAddr: headers + mem.Addr(i*skbHeaderBytes),
 			DataAddr: data + mem.Addr(i*skbDataBytes),
-		})
-		p.freeSKBs = append(p.freeSKBs, i)
+		}
+		p.freeSKBs = append(p.freeSKBs, int32(i))
 	}
 	cloneHeaders := k.Space.AllocPage(nClone*skbHeaderBytes, "clone_headers")
+	p.clones = make([]Clone, nClone)
 	for i := 0; i < nClone; i++ {
-		p.clones = append(p.clones, &Clone{
-			idx:      i,
+		p.clones[i] = Clone{
+			idx:      int32(i),
 			HeadAddr: cloneHeaders + mem.Addr(i*skbHeaderBytes),
-		})
-		p.freeClone = append(p.freeClone, i)
+		}
+		p.freeClone = append(p.freeClone, int32(i))
 	}
 	return p
 }
@@ -150,12 +157,12 @@ func (p *Pool) grabForRing() *SKB {
 	}
 	i := p.freeSKBs[len(p.freeSKBs)-1]
 	p.freeSKBs = p.freeSKBs[:len(p.freeSKBs)-1]
-	return p.skbs[i]
+	return &p.skbs[i]
 }
 
 // popCPU pops from a per-CPU cache, refilling a batch from the shared
 // list (under the slab lock) when empty. Returns the object index.
-func (p *Pool) popCPU(env *kern.Env, caches [][]int, shared *[]int, what string) int {
+func (p *Pool) popCPU(env *kern.Env, caches [][]int32, shared *[]int32, what string) int32 {
 	// Loop, re-reading the processor id each pass: the unlock at the end
 	// of a refill is a preemption point, where a bottom half may drain
 	// the cache we just filled or the scheduler may migrate the task.
@@ -189,7 +196,7 @@ func (p *Pool) popCPU(env *kern.Env, caches [][]int, shared *[]int, what string)
 
 // pushCPU pushes to a per-CPU cache, draining a batch to the shared list
 // when the cache overfills.
-func (p *Pool) pushCPU(env *kern.Env, caches [][]int, shared *[]int, idx int) {
+func (p *Pool) pushCPU(env *kern.Env, caches [][]int32, shared *[]int32, idx int32) {
 	id := env.CPU().ID()
 	caches[id] = append(caches[id], idx)
 	if len(caches[id]) > 2*poolBatch {
@@ -214,7 +221,7 @@ func (p *Pool) pushCPU(env *kern.Env, caches [][]int, shared *[]int, idx int) {
 // slow path, header initialization.
 func (p *Pool) AllocSKB(env *kern.Env) *SKB {
 	idx := p.popCPU(env, p.cpuSKBs, &p.freeSKBs, "skb")
-	skb := p.skbs[idx]
+	skb := &p.skbs[idx]
 	p.SKBAllocs++
 	id := env.CPU().ID()
 	env.Run(p.st.p.allocSkb, func(x *cpu.Exec) {
@@ -242,7 +249,7 @@ func (p *Pool) FreeSKB(env *kern.Env, s *SKB) {
 // the original; data is shared.
 func (p *Pool) AllocClone(env *kern.Env, orig *SKB) *Clone {
 	idx := p.popCPU(env, p.cpuClones, &p.freeClone, "clone")
-	c := p.clones[idx]
+	c := &p.clones[idx]
 	p.CloneAllocs++
 	id := env.CPU().ID()
 	env.Run(p.st.p.skbClone, func(x *cpu.Exec) {
@@ -260,7 +267,7 @@ func (p *Pool) AllocClone(env *kern.Env, orig *SKB) *Clone {
 // allocates a small skb that the device completion frees).
 func (p *Pool) AllocAckSkb(env *kern.Env) *Clone {
 	idx := p.popCPU(env, p.cpuClones, &p.freeClone, "clone")
-	c := p.clones[idx]
+	c := &p.clones[idx]
 	p.CloneAllocs++
 	id := env.CPU().ID()
 	env.Run(p.st.p.allocSkb, func(x *cpu.Exec) {
@@ -290,8 +297,8 @@ func (p *Pool) check() error {
 	if p.FreeSKBCount() > len(p.skbs) || p.FreeCloneCount() > len(p.clones) {
 		return fmt.Errorf("tcp: pool free lists overflow backing arrays")
 	}
-	seen := map[int]bool{}
-	lists := append([][]int{p.freeSKBs}, p.cpuSKBs...)
+	seen := map[int32]bool{}
+	lists := append([][]int32{p.freeSKBs}, p.cpuSKBs...)
 	for _, list := range lists {
 		for _, i := range list {
 			if seen[i] {

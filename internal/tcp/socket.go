@@ -11,74 +11,19 @@ import (
 )
 
 // Socket is one established TCP connection endpoint on the SUT. Exactly
-// one process uses each socket in the paper's workload, with the
-// protocol's other half executing in softirq context — the split whose
-// placement the four affinity modes control.
+// one process uses each socket at a time, with the protocol's other
+// half executing in softirq context — the split whose placement the
+// four affinity modes control.
+//
+// Socket is a flyweight: a stack pointer plus an arena handle. All
+// mutable state lives in the stack's struct-of-arrays arena (arena.go);
+// Conn and NIC are the slot's current binding, updated when connection
+// churn recycles the slot.
 type Socket struct {
 	st   *Stack
+	h    Handle
 	Conn int
 	NIC  *netdev.NIC
-
-	// Simulated structures: struct sock and the TCP control block. The
-	// engine bin cannot avoid touching these (window math reads the
-	// context), which is why affinity helps it (§6.3).
-	sockAddr mem.Addr
-	ctxAddr  mem.Addr
-	// fileAddr is the VFS state the syscall path walks per call (struct
-	// file, dentry, fd table slots): interface-bin working set.
-	fileAddr mem.Addr
-
-	// Transmit state.
-	sndUna      uint64
-	sndNxt      uint64
-	sndWnd      int // client's advertised window
-	sndBufBytes int
-	retransQ    []*SKB
-	tail        *SKB // Nagle: partial segment under construction
-	sndWait     *kern.WaitQueue
-
-	// Receive state.
-	rcvNxt       uint64
-	rcvQ         []*SKB
-	rcvQBytes    int
-	segsSinceAck int
-	lastWndAdv   int // receive window advertised in the last ACK
-	// rcvRightEdge is rcvNxt+window as last advertised; a TCP receiver
-	// must never move it backwards, which bounds how far the sender can
-	// overrun freshly-consumed buffer space.
-	rcvRightEdge uint64
-	rcvWait      *kern.WaitQueue
-
-	// Socket lock: spinlock plus user-ownership flag, with a backlog for
-	// packets arriving while the user owns the socket (2.4 semantics).
-	slock       *kern.SpinLock
-	ownedByUser bool
-	backlog     []netdev.RxPacket
-
-	retransTimer *kern.Timer
-	delackTimer  *kern.Timer
-	delackArmed  bool
-
-	// Connection state machine (handshake.go).
-	state    State
-	connWait *kern.WaitQueue
-
-	// Loss recovery.
-	dupAcks int
-	// rtoBackoff counts consecutive retransmission-timer expiries; each
-	// doubles the next timeout (capped), and a forward ACK clears it.
-	rtoBackoff uint
-	// recoverSeq suppresses further fast retransmits until snd_una
-	// passes the point where the last recovery started (NewReno-style).
-	recoverSeq uint64
-
-	// Stats.
-	AppBytesIn, AppBytesOut uint64
-	SegsIn, SegsOut         uint64
-	AcksIn, AcksOut         uint64
-	BacklogDeferrals        uint64
-	Retransmits             uint64
-	OutOfOrderDrops         uint64
 }
 
 // NewConn establishes connection conn over nic, returning the SUT socket
@@ -86,53 +31,40 @@ type Socket struct {
 // Setup happens outside measured time, as in the paper ("a connection is
 // set up once between two nodes").
 func (st *Stack) NewConn(conn int, nic *netdev.NIC) (*Socket, *Client) {
-	if _, dup := st.sockets[conn]; dup {
+	if st.lookupSocket(conn) != nil {
 		panic(fmt.Sprintf("tcp: duplicate connection %d", conn))
 	}
-	k := st.K
-	s := &Socket{
-		st:       st,
-		Conn:     conn,
-		NIC:      nic,
-		sockAddr: k.Space.Alloc(1536, fmt.Sprintf("sock%d", conn)),
-		ctxAddr:  k.Space.Alloc(1280, fmt.Sprintf("tcp_ctx%d", conn)),
-		fileAddr: k.Space.Alloc(2048, fmt.Sprintf("file%d", conn)),
-		sndUna:   1,
-		sndNxt:   1,
-		sndWnd:   st.Cfg.SndBuf,
-		rcvNxt:   1,
-		sndWait:  kern.NewWaitQueue(fmt.Sprintf("snd%d", conn)),
-		rcvWait:  kern.NewWaitQueue(fmt.Sprintf("rcv%d", conn)),
-		slock:    k.NewSpinLock(fmt.Sprintf("sk%d", conn)),
-	}
-	s.lastWndAdv = st.Cfg.RcvBuf
-	s.rcvRightEdge = s.rcvNxt + uint64(st.Cfg.RcvBuf/2)
-	s.state = StateEstablished
-	s.connWait = kern.NewWaitQueue(fmt.Sprintf("conn%d", conn))
-	s.retransTimer = k.NewTimer(func(env *kern.Env) { s.onRetransTimer(env) })
-	s.delackTimer = k.NewTimer(func(env *kern.Env) { s.onDelackTimer(env) })
-	st.sockets[conn] = s
+	h := st.newSlot(conn, nic)
+	s := st.arena.socks[h]
+	st.bindConn(conn, h)
 
 	c := newClient(st, conn, nic)
-	st.clients[conn] = c
+	st.bindClient(conn, c)
 	return s, c
 }
 
+// Handle exposes the socket's arena slot index (diagnostics, tests).
+func (s *Socket) Handle() Handle { return s.h }
+
 // InFlight reports unacknowledged transmit bytes.
-func (s *Socket) InFlight() int { return int(s.sndNxt - s.sndUna) }
+func (s *Socket) InFlight() int {
+	tx := s.tx()
+	return int(tx.sndNxt - tx.sndUna)
+}
 
 // rcvWindow is the advertised receive window: half the buffer space not
 // yet consumed by queued skbs' truesize (Linux's tcp_adv_win_scale
 // halving, which reserves the other half for the truesize overhead of
 // the payload the window invites), floored at zero.
 func (s *Socket) rcvWindow() int {
-	w := s.st.Cfg.RcvBuf - s.rcvQBytes
+	rx := s.rx()
+	w := s.st.Cfg.RcvBuf - rx.rcvQBytes
 	if w < 0 {
 		w = 0
 	}
 	w /= 2
 	// Never retract the previously advertised right edge.
-	if edge := int(s.rcvRightEdge - s.rcvNxt); edge > w {
+	if edge := int(rx.rcvRightEdge - rx.rcvNxt); edge > w {
 		w = edge
 	}
 	return w
@@ -141,45 +73,73 @@ func (s *Socket) rcvWindow() int {
 // advertise computes the window to place in an outgoing segment and
 // advances the committed right edge.
 func (s *Socket) advertise() int {
+	rx := s.rx()
 	w := s.rcvWindow()
-	if e := s.rcvNxt + uint64(w); e > s.rcvRightEdge {
-		s.rcvRightEdge = e
+	if e := rx.rcvNxt + uint64(w); e > rx.rcvRightEdge {
+		rx.rcvRightEdge = e
 	}
 	return w
 }
 
 // RcvQueued reports bytes waiting in the receive queue.
-func (s *Socket) RcvQueued() int { return s.rcvQBytes }
+func (s *Socket) RcvQueued() int { return s.rx().rcvQBytes }
+
+// --- per-connection counters (arena-backed) ---
+
+// AppBytesIn and AppBytesOut are application bytes delivered to and
+// accepted from this connection's user.
+func (s *Socket) AppBytesIn() uint64  { return s.stat().appBytesIn }
+func (s *Socket) AppBytesOut() uint64 { return s.stat().appBytesOut }
+
+// SegsIn and SegsOut count data segments received and transmitted.
+func (s *Socket) SegsIn() uint64  { return s.stat().segsIn }
+func (s *Socket) SegsOut() uint64 { return s.stat().segsOut }
+
+// AcksIn and AcksOut count acknowledgments processed and emitted.
+func (s *Socket) AcksIn() uint64  { return s.stat().acksIn }
+func (s *Socket) AcksOut() uint64 { return s.stat().acksOut }
+
+// BacklogDeferrals counts packets parked on the socket backlog because
+// the user owned the socket when softirq delivery arrived.
+func (s *Socket) BacklogDeferrals() uint64 { return s.stat().backlogDeferrals }
+
+// Retransmits counts segments this socket retransmitted.
+func (s *Socket) Retransmits() uint64 { return s.stat().retransmits }
+
+// OutOfOrderDrops counts go-back-N receiver drops (gaps/duplicates).
+func (s *Socket) OutOfOrderDrops() uint64 { return s.stat().outOfOrderDrops }
 
 // --- socket lock ---
 
 // lockSock takes user ownership (process context).
 func (s *Socket) lockSock(env *kern.Env) {
-	s.slock.Lock(env)
+	ctl := s.ctl()
+	ctl.slock.Lock(env)
 	env.Run(s.st.p.lockSock, func(x *cpu.Exec) {
-		x.Instr(45, 0.1, 0.02).Store(s.sockAddr, 32)
+		x.Instr(45, 0.1, 0.02).Store(ctl.sockAddr, 32)
 	})
-	s.ownedByUser = true
-	s.slock.Unlock(env)
+	ctl.ownedByUser = true
+	ctl.slock.Unlock(env)
 }
 
 // releaseSock drops user ownership, first processing any packets the
 // softirq deferred to the backlog while the user held the socket.
 func (s *Socket) releaseSock(env *kern.Env) {
-	s.slock.Lock(env)
-	for len(s.backlog) > 0 {
-		pkt := s.backlog[0]
-		s.backlog = s.backlog[1:]
+	ctl := s.ctl()
+	ctl.slock.Lock(env)
+	for len(ctl.backlog) > 0 {
+		pkt := ctl.backlog[0]
+		ctl.backlog = ctl.backlog[1:]
 		env.Run(s.st.p.tcpV4DoRcv, func(x *cpu.Exec) {
-			x.Instr(45, 0.18, 0.015).Overhead(45).Load(s.sockAddr, 64)
+			x.Instr(45, 0.18, 0.015).Overhead(45).Load(ctl.sockAddr, 64)
 		})
 		s.doRcv(env, pkt)
 	}
-	s.ownedByUser = false
+	ctl.ownedByUser = false
 	env.Run(s.st.p.releaseSock, func(x *cpu.Exec) {
-		x.Instr(55, 0.1, 0.02).Store(s.sockAddr, 32)
+		x.Instr(55, 0.1, 0.02).Store(ctl.sockAddr, 32)
 	})
-	s.slock.Unlock(env)
+	ctl.slock.Unlock(env)
 }
 
 // --- transmit path (process context) ---
@@ -195,46 +155,47 @@ func (s *Socket) Write(env *kern.Env, userBuf mem.Addr, size int) {
 	}
 	st := s.st
 	p := &st.p
+	tx, ctl := s.tx(), s.ctl()
 	env.Run(p.systemCall, func(x *cpu.Exec) {
 		x.Instr(125, 0.2, 0.01).Overhead(825)
 	})
 	env.Run(p.sysWrite, func(x *cpu.Exec) {
 		x.Instr(190, 0.19, 0.012).Overhead(890).
-			Load(s.fileAddr, 768).Store(s.fileAddr, 64).
-			Load(s.sockAddr, 64)
+			Load(ctl.fileAddr, 768).Store(ctl.fileAddr, 64).
+			Load(ctl.sockAddr, 64)
 	})
 	env.Run(p.inetSendmsg, func(x *cpu.Exec) {
-		x.Instr(55, 0.17, 0.01).Overhead(55).Load(s.sockAddr, 32)
+		x.Instr(55, 0.17, 0.01).Overhead(55).Load(ctl.sockAddr, 32)
 	})
 	s.lockSock(env)
 	env.Run(p.tcpSendmsg, func(x *cpu.Exec) {
 		x.Instr(160, 0.17, 0.006).Overhead(160).
-			Load(s.sockAddr, 128).
-			Load(s.ctxAddr, 128).Store(s.ctxAddr, 32)
+			Load(ctl.sockAddr, 128).
+			Load(ctl.ctxAddr, 128).Store(ctl.ctxAddr, 32)
 	})
 
 	mss := st.Cfg.MSS
 	off := 0
 	for off < size {
-		if s.sndBufBytes+skbTruesize > st.Cfg.SndBuf && (s.tail == nil || s.tail.Len >= mss) {
+		if tx.sndBufBytes+skbTruesize > st.Cfg.SndBuf && (tx.tail == nil || tx.tail.Len >= mss) {
 			// No room for another skb's truesize: wait for ACKs to free
 			// queued buffers (sock_wait_for_wmem).
 			s.releaseSock(env)
 			env.Run(p.sockWait, func(x *cpu.Exec) {
-				x.Instr(115, 0.22, 0.03).Overhead(615).Store(s.sockAddr, 64)
+				x.Instr(115, 0.22, 0.03).Overhead(615).Store(ctl.sockAddr, 64)
 			})
-			for s.sndBufBytes+skbTruesize > st.Cfg.SndBuf {
+			for tx.sndBufBytes+skbTruesize > st.Cfg.SndBuf {
 				st.K.Trace.SockBlock(st.K.Now(), env.CPU().ID(), s.Conn, "sndbuf")
-				env.Sleep(s.sndWait)
+				env.Sleep(ctl.sndWait)
 			}
 			s.lockSock(env)
 			continue
 		}
-		if s.tail == nil || s.tail.Len >= mss {
-			s.tail = st.Pool.AllocSKB(env)
-			s.sndBufBytes += skbTruesize
+		if tx.tail == nil || tx.tail.Len >= mss {
+			tx.tail = st.Pool.AllocSKB(env)
+			tx.sndBufBytes += skbTruesize
 		}
-		tail := s.tail
+		tail := tx.tail
 		chunk := size - off
 		if room := mss - tail.Len; chunk > room {
 			chunk = room
@@ -251,29 +212,30 @@ func (s *Socket) Write(env *kern.Env, userBuf mem.Addr, size int) {
 		off += chunk
 		env.Run(p.tcpSendmsg, func(x *cpu.Exec) {
 			x.Instr(145, 0.17, 0.006).Overhead(145).
-				Load(s.ctxAddr, 256).Store(s.ctxAddr, 64).
+				Load(ctl.ctxAddr, 256).Store(ctl.ctxAddr, 64).
 				Store(tail.HeadAddr, 64)
 		})
 		// Transmit a full segment immediately; flush a partial tail only
 		// when nothing is in flight (Nagle).
 		if tail.Len >= mss {
-			s.tail = nil
+			tx.tail = nil
 			s.queueAndTransmit(env, tail)
 		} else if off >= size && s.InFlight() == 0 {
-			s.tail = nil
+			tx.tail = nil
 			s.queueAndTransmit(env, tail)
 		}
 	}
 	s.releaseSock(env)
-	s.AppBytesOut += uint64(size)
+	s.stat().appBytesOut += uint64(size)
 }
 
 // queueAndTransmit assigns sequence space, appends to the retransmit
 // queue and pushes the segment to the device. Caller owns the socket.
 func (s *Socket) queueAndTransmit(env *kern.Env, skb *SKB) {
-	skb.Seq = s.sndNxt
-	s.sndNxt += uint64(skb.Len)
-	s.retransQ = append(s.retransQ, skb)
+	tx := s.tx()
+	skb.Seq = tx.sndNxt
+	tx.sndNxt += uint64(skb.Len)
+	tx.retransQ = append(tx.retransQ, skb)
 	s.transmitSkb(env, skb)
 }
 
@@ -282,28 +244,29 @@ func (s *Socket) queueAndTransmit(env *kern.Env, skb *SKB) {
 func (s *Socket) transmitSkb(env *kern.Env, skb *SKB) {
 	st := s.st
 	p := &st.p
+	rx, ctl := s.rx(), s.ctl()
 	env.Run(p.tcpTransmitSkb, func(x *cpu.Exec) {
 		x.Instr(215, 0.16, 0.01).Overhead(215).
-			Load(s.ctxAddr, 384).Store(s.ctxAddr, 128).
+			Load(ctl.ctxAddr, 384).Store(ctl.ctxAddr, 128).
 			Load(skb.HeadAddr, 256).Store(skb.HeadAddr, 128).
 			Store(skb.DataAddr, 64) // header bytes prepended to payload
 	})
 	env.Run(p.tcpSelectWin, func(x *cpu.Exec) {
-		x.Instr(42, 0.18, 0.008).Overhead(43).Load(s.ctxAddr, 64)
+		x.Instr(42, 0.18, 0.008).Overhead(43).Load(ctl.ctxAddr, 64)
 	})
 	clone := st.Pool.AllocClone(env, skb)
 	env.Run(p.modTimer, func(x *cpu.Exec) {
-		x.Instr(95, 0.16, 0.01).Store(s.ctxAddr, 16)
+		x.Instr(95, 0.16, 0.01).Store(ctl.ctxAddr, 16)
 	})
-	st.K.ModTimer(s.retransTimer, st.K.Now()+s.rto())
-	s.SegsOut++
+	st.K.ModTimer(ctl.retransTimer, st.K.Now()+s.rto())
+	s.stat().segsOut++
 	win := s.advertise()
-	s.lastWndAdv = win
+	rx.lastWndAdv = win
 	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
 		Frame: netdev.WireFrame{
 			Conn:   s.Conn,
 			Seq:    skb.Seq,
-			Ack:    s.rcvNxt,
+			Ack:    rx.rcvNxt,
 			Window: win,
 			Len:    skb.Len,
 			Flags:  netdev.FlagPsh | netdev.FlagAck,
@@ -317,26 +280,27 @@ func (s *Socket) transmitSkb(env *kern.Env, skb *SKB) {
 func (s *Socket) sendAck(env *kern.Env) {
 	st := s.st
 	p := &st.p
+	rx, ctl := s.rx(), s.ctl()
 	env.Run(p.tcpSendAck, func(x *cpu.Exec) {
-		x.Instr(80, 0.17, 0.01).Overhead(80).Load(s.ctxAddr, 64)
+		x.Instr(80, 0.17, 0.01).Overhead(80).Load(ctl.ctxAddr, 64)
 	})
 	env.Run(p.tcpSelectWin, func(x *cpu.Exec) {
-		x.Instr(42, 0.18, 0.008).Overhead(43).Load(s.ctxAddr, 64)
+		x.Instr(42, 0.18, 0.008).Overhead(43).Load(ctl.ctxAddr, 64)
 	})
 	ack := st.Pool.AllocAckSkb(env)
 	env.Run(p.tcpTransmitSkb, func(x *cpu.Exec) {
 		x.Instr(150, 0.16, 0.01).Overhead(150).
-			Load(s.ctxAddr, 64).Store(s.ctxAddr, 32).
+			Load(ctl.ctxAddr, 64).Store(ctl.ctxAddr, 32).
 			Store(ack.HeadAddr, 64)
 	})
-	s.segsSinceAck = 0
+	rx.segsSinceAck = 0
 	win := s.advertise()
-	s.lastWndAdv = win
-	s.AcksOut++
+	rx.lastWndAdv = win
+	s.stat().acksOut++
 	st.Drv.XmitBlocking(env, s.NIC, netdev.TxReq{
 		Frame: netdev.WireFrame{
 			Conn:   s.Conn,
-			Ack:    s.rcvNxt,
+			Ack:    rx.rcvNxt,
 			Window: win,
 			Flags:  netdev.FlagAck,
 		},
@@ -349,35 +313,39 @@ func (s *Socket) sendAck(env *kern.Env) {
 // rxUp is the protocol entry from the driver: tcp_v4_rcv in softirq
 // context. The bottom half timestamps the packet (do_gettimeofday — the
 // paper's RX Timers cost), then either processes it or defers to the
-// backlog when the user owns the socket.
+// backlog when the user owns the socket. A packet for a connection with
+// no socket goes to the listener (SYN: passive open) or is dropped as
+// an orphan (late ACKs for churned connections).
 func (st *Stack) rxUp(env *kern.Env, pkt netdev.RxPacket) {
 	f := pkt.Frame
-	s := st.sockets[f.Conn]
+	s := st.lookupSocket(f.Conn)
 	if s == nil {
-		panic(fmt.Sprintf("tcp: packet for unknown connection %d", f.Conn))
+		st.rxNoSocket(env, pkt)
+		return
 	}
 	p := &st.p
+	ctl := s.ctl()
 	env.Run(p.tcpV4Rcv, func(x *cpu.Exec) {
 		x.Instr(145, 0.16, 0.01).Overhead(145).
 			Load(st.hashAddr+mem.Addr((f.Conn*64)%(16<<10)), 64).
-			Load(s.sockAddr, 128)
+			Load(ctl.sockAddr, 128)
 	})
 	env.Run(p.gettimeofday, func(x *cpu.Exec) {
 		x.Instr(360, 0.12, 0.002).Overhead(900).
 			Load(st.K.XtimeAddr, 8).Load(st.K.XtimeAddr, 8).Load(st.K.XtimeAddr, 8)
 	})
-	s.slock.Lock(env)
-	if s.ownedByUser {
-		s.BacklogDeferrals++
+	ctl.slock.Lock(env)
+	if ctl.ownedByUser {
+		s.stat().backlogDeferrals++
 		env.Run(p.skbQueue, func(x *cpu.Exec) {
-			x.Instr(80, 0.18, 0.012).Store(s.sockAddr, 32)
+			x.Instr(80, 0.18, 0.012).Store(ctl.sockAddr, 32)
 		})
-		s.backlog = append(s.backlog, pkt)
-		s.slock.Unlock(env)
+		ctl.backlog = append(ctl.backlog, pkt)
+		ctl.slock.Unlock(env)
 		return
 	}
 	s.doRcv(env, pkt)
-	s.slock.Unlock(env)
+	ctl.slock.Unlock(env)
 }
 
 // doRcv processes one packet under the socket lock (softirq) or under
@@ -409,46 +377,47 @@ func (s *Socket) rcvData(env *kern.Env, pkt netdev.RxPacket) {
 	p := &st.p
 	f := pkt.Frame
 	skb := pkt.Cookie.(*SKB)
-	if f.Seq != s.rcvNxt {
+	rx, ctl := s.rx(), s.ctl()
+	if f.Seq != rx.rcvNxt {
 		// Go-back-N receiver: duplicates and gaps are dropped, answered
 		// with an immediate (duplicate) ACK re-advertising rcv_nxt so the
 		// sender retransmits.
-		s.OutOfOrderDrops++
+		s.stat().outOfOrderDrops++
 		st.Pool.FreeSKB(env, skb)
 		s.sendAck(env)
 		return
 	}
 	env.Run(p.tcpRcvEstab, func(x *cpu.Exec) {
 		x.Instr(200, 0.16, 0.008).Overhead(200).
-			Load(s.ctxAddr, 640).Store(s.ctxAddr, 192).
+			Load(ctl.ctxAddr, 640).Store(ctl.ctxAddr, 192).
 			Load(skb.HeadAddr, 128).Store(skb.HeadAddr, 64)
 	})
 	skb.Seq = f.Seq
 	skb.Len = f.Len
 	skb.Consumed = 0
-	s.rcvNxt += uint64(f.Len)
-	s.rcvQ = append(s.rcvQ, skb)
-	s.rcvQBytes += skbTruesize
-	s.SegsIn++
+	rx.rcvNxt += uint64(f.Len)
+	rx.rcvQ = append(rx.rcvQ, skb)
+	rx.rcvQBytes += skbTruesize
+	s.stat().segsIn++
 	env.Run(p.skbQueue, func(x *cpu.Exec) {
-		x.Instr(75, 0.18, 0.012).Store(s.sockAddr, 32).Store(skb.HeadAddr, 16)
+		x.Instr(75, 0.18, 0.012).Store(ctl.sockAddr, 32).Store(skb.HeadAddr, 16)
 	})
-	s.segsSinceAck++
-	if s.segsSinceAck >= st.Cfg.DelAckSegs {
+	rx.segsSinceAck++
+	if rx.segsSinceAck >= st.Cfg.DelAckSegs {
 		s.sendAck(env)
-	} else if !s.delackArmed {
-		s.delackArmed = true
+	} else if !ctl.delackArmed {
+		ctl.delackArmed = true
 		env.Run(p.modTimer, func(x *cpu.Exec) {
-			x.Instr(95, 0.16, 0.01).Store(s.ctxAddr, 16)
+			x.Instr(95, 0.16, 0.01).Store(ctl.ctxAddr, 16)
 		})
-		st.K.ModTimer(s.delackTimer, st.K.Now()+400_000) // 200 µs
+		st.K.ModTimer(ctl.delackTimer, st.K.Now()+400_000) // 200 µs
 	}
-	if s.rcvWait.Len() > 0 {
+	if ctl.rcvWait.Len() > 0 {
 		env.Run(p.sockReadable, func(x *cpu.Exec) {
-			x.Instr(75, 0.2, 0.02).Overhead(325).Load(s.sockAddr, 64)
+			x.Instr(75, 0.2, 0.02).Overhead(325).Load(ctl.sockAddr, 64)
 		})
-		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "rcvbuf", s.rcvWait.Len())
-		s.rcvWait.WakeAll(st.K, env)
+		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "rcvbuf", ctl.rcvWait.Len())
+		ctl.rcvWait.WakeAll(st.K, env)
 	}
 }
 
@@ -458,62 +427,63 @@ func (s *Socket) rcvData(env *kern.Env, pkt netdev.RxPacket) {
 func (s *Socket) rcvAck(env *kern.Env, f netdev.WireFrame) {
 	st := s.st
 	p := &st.p
-	s.AcksIn++
+	tx, ctl := s.tx(), s.ctl()
+	s.stat().acksIn++
 	freed := 0
 	env.Run(p.tcpAck, func(x *cpu.Exec) {
 		x.Instr(155, 0.17, 0.008).Overhead(155).
-			Load(s.ctxAddr, 448).Store(s.ctxAddr, 128).
-			Store(s.sockAddr, 64)
+			Load(ctl.ctxAddr, 448).Store(ctl.ctxAddr, 128).
+			Store(ctl.sockAddr, 64)
 	})
-	if f.Ack == s.sndUna && s.InFlight() > 0 && f.Len == 0 {
+	if f.Ack == tx.sndUna && s.InFlight() > 0 && f.Len == 0 {
 		// Duplicate ACK: three in a row trigger go-back-N retransmission
 		// of the outstanding window (the receiver dropped everything past
 		// the gap), once per recovery episode.
-		s.dupAcks++
-		if s.dupAcks >= 3 && s.sndUna >= s.recoverSeq {
-			s.dupAcks = 0
+		tx.dupAcks++
+		if tx.dupAcks >= 3 && tx.sndUna >= tx.recoverSeq {
+			tx.dupAcks = 0
 			s.goBackN(env)
 		}
 	}
-	if f.Ack > s.sndUna {
-		s.dupAcks = 0
-		s.rtoBackoff = 0
-		s.sndUna = f.Ack
-		for len(s.retransQ) > 0 {
-			head := s.retransQ[0]
-			if head.Seq+uint64(head.Len) > s.sndUna {
+	if f.Ack > tx.sndUna {
+		tx.dupAcks = 0
+		tx.rtoBackoff = 0
+		tx.sndUna = f.Ack
+		for len(tx.retransQ) > 0 {
+			head := tx.retransQ[0]
+			if head.Seq+uint64(head.Len) > tx.sndUna {
 				break
 			}
-			s.retransQ = s.retransQ[1:]
-			s.sndBufBytes -= skbTruesize
+			tx.retransQ = tx.retransQ[1:]
+			tx.sndBufBytes -= skbTruesize
 			st.Pool.FreeSKB(env, head)
 			freed++
 		}
 		if s.InFlight() == 0 {
 			env.Run(p.delTimer, func(x *cpu.Exec) {
-				x.Instr(60, 0.15, 0.008).Store(s.ctxAddr, 16)
+				x.Instr(60, 0.15, 0.008).Store(ctl.ctxAddr, 16)
 			})
-			st.K.DelTimer(s.retransTimer)
+			st.K.DelTimer(ctl.retransTimer)
 		} else {
 			env.Run(p.modTimer, func(x *cpu.Exec) {
-				x.Instr(95, 0.16, 0.01).Store(s.ctxAddr, 16)
+				x.Instr(95, 0.16, 0.01).Store(ctl.ctxAddr, 16)
 			})
-			st.K.ModTimer(s.retransTimer, st.K.Now()+s.rto())
+			st.K.ModTimer(ctl.retransTimer, st.K.Now()+s.rto())
 		}
 	}
-	s.sndWnd = f.Window
+	tx.sndWnd = f.Window
 	// Nagle: a held tail goes out once everything else is acknowledged.
-	if s.InFlight() == 0 && s.tail != nil && s.tail.Len > 0 {
-		t := s.tail
-		s.tail = nil
+	if s.InFlight() == 0 && tx.tail != nil && tx.tail.Len > 0 {
+		t := tx.tail
+		tx.tail = nil
 		s.queueAndTransmit(env, t)
 	}
-	if freed > 0 && s.sndWait.Len() > 0 && s.sndBufBytes+skbTruesize <= st.Cfg.SndBuf {
+	if freed > 0 && ctl.sndWait.Len() > 0 && tx.sndBufBytes+skbTruesize <= st.Cfg.SndBuf {
 		env.Run(p.writeSpace, func(x *cpu.Exec) {
-			x.Instr(70, 0.2, 0.02).Overhead(320).Load(s.sockAddr, 64)
+			x.Instr(70, 0.2, 0.02).Overhead(320).Load(ctl.sockAddr, 64)
 		})
-		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "sndbuf", s.sndWait.Len())
-		s.sndWait.WakeAll(st.K, env)
+		st.K.Trace.SockWake(st.K.Now(), env.CPU().ID(), s.Conn, "sndbuf", ctl.sndWait.Len())
+		ctl.sndWait.WakeAll(st.K, env)
 	}
 }
 
@@ -530,38 +500,39 @@ func (s *Socket) Read(env *kern.Env, userBuf mem.Addr, size int) {
 	}
 	st := s.st
 	p := &st.p
+	rx, ctl := s.rx(), s.ctl()
 	env.Run(p.systemCall, func(x *cpu.Exec) {
 		x.Instr(125, 0.2, 0.01).Overhead(825)
 	})
 	env.Run(p.sysRead, func(x *cpu.Exec) {
 		x.Instr(190, 0.19, 0.012).Overhead(890).
-			Load(s.fileAddr, 768).Store(s.fileAddr, 64).
-			Load(s.sockAddr, 64)
+			Load(ctl.fileAddr, 768).Store(ctl.fileAddr, 64).
+			Load(ctl.sockAddr, 64)
 	})
 	env.Run(p.inetRecvmsg, func(x *cpu.Exec) {
-		x.Instr(55, 0.17, 0.01).Overhead(55).Load(s.sockAddr, 32)
+		x.Instr(55, 0.17, 0.01).Overhead(55).Load(ctl.sockAddr, 32)
 	})
 	s.lockSock(env)
 	env.Run(p.tcpRecvmsg, func(x *cpu.Exec) {
 		x.Instr(165, 0.15, 0.009).Overhead(165).
-			Load(s.sockAddr, 128).
-			Load(s.ctxAddr, 128).Store(s.ctxAddr, 32)
+			Load(ctl.sockAddr, 128).
+			Load(ctl.ctxAddr, 128).Store(ctl.ctxAddr, 32)
 	})
 	copied := 0
 	for copied < size {
-		if len(s.rcvQ) == 0 {
+		if len(rx.rcvQ) == 0 {
 			s.releaseSock(env)
 			env.Run(p.sockWait, func(x *cpu.Exec) {
-				x.Instr(115, 0.22, 0.03).Overhead(615).Store(s.sockAddr, 64)
+				x.Instr(115, 0.22, 0.03).Overhead(615).Store(ctl.sockAddr, 64)
 			})
-			for len(s.rcvQ) == 0 {
+			for len(rx.rcvQ) == 0 {
 				st.K.Trace.SockBlock(st.K.Now(), env.CPU().ID(), s.Conn, "rcvbuf")
-				env.Sleep(s.rcvWait)
+				env.Sleep(ctl.rcvWait)
 			}
 			s.lockSock(env)
 			continue
 		}
-		skb := s.rcvQ[0]
+		skb := rx.rcvQ[0]
 		env.Run(p.tcpRecvmsg, func(x *cpu.Exec) {
 			x.Instr(30, 0.15, 0.009).Overhead(30).Load(skb.HeadAddr, 128)
 		})
@@ -591,26 +562,26 @@ func (s *Socket) Read(env *kern.Env, userBuf mem.Addr, size int) {
 		skb.Consumed += chunk
 		copied += chunk
 		if skb.Remaining() == 0 {
-			s.rcvQ = s.rcvQ[1:]
-			s.rcvQBytes -= skbTruesize
+			rx.rcvQ = rx.rcvQ[1:]
+			rx.rcvQBytes -= skbTruesize
 			env.Run(p.sockRfree, func(x *cpu.Exec) {
-				x.Instr(70, 0.18, 0.012).Store(s.sockAddr, 32)
+				x.Instr(70, 0.18, 0.012).Store(ctl.sockAddr, 32)
 			})
 			st.Pool.FreeSKB(env, skb)
 			// tcp_cleanup_rbuf: advertise reopened space as soon as it is
 			// worth a frame (2×MSS hysteresis) — mid-read, or a sender
 			// blocked on a zero window could deadlock against a reader
 			// blocked on an empty queue.
-			if s.rcvWindow()-s.lastWndAdv >= 2*st.Cfg.MSS {
+			if s.rcvWindow()-rx.lastWndAdv >= 2*st.Cfg.MSS {
 				s.sendAck(env)
 			}
 		}
 		env.Run(p.tcpRecvmsg, func(x *cpu.Exec) {
-			x.Instr(80, 0.15, 0.009).Overhead(80).Load(s.ctxAddr, 64)
+			x.Instr(80, 0.15, 0.009).Overhead(80).Load(ctl.ctxAddr, 64)
 		})
 	}
 	s.releaseSock(env)
-	s.AppBytesIn += uint64(size)
+	s.stat().appBytesIn += uint64(size)
 }
 
 // --- timers ---
@@ -619,26 +590,27 @@ func (s *Socket) Read(env *kern.Env, userBuf mem.Addr, size int) {
 // paper's loss-free LAN it never fires; with a lossy link (NICConfig.
 // LossRate) it is the recovery of last resort behind fast retransmit.
 func (s *Socket) onRetransTimer(env *kern.Env) {
+	tx, ctl := s.tx(), s.ctl()
 	env.Run(s.st.p.tcpWriteTimer, func(x *cpu.Exec) {
-		x.Instr(180, 0.18, 0.015).Load(s.ctxAddr, 64)
+		x.Instr(180, 0.18, 0.015).Load(ctl.ctxAddr, 64)
 	})
-	s.slock.Lock(env)
-	if s.ownedByUser {
+	ctl.slock.Lock(env)
+	if ctl.ownedByUser {
 		// The user owns the socket; retry shortly (real kernels defer
 		// similarly rather than spin on the lock in timer context).
-		s.slock.Unlock(env)
-		s.st.K.ModTimer(s.retransTimer, s.st.K.Now()+sim.Time(2_000_000))
+		ctl.slock.Unlock(env)
+		s.st.K.ModTimer(ctl.retransTimer, s.st.K.Now()+sim.Time(2_000_000))
 		return
 	}
-	if len(s.retransQ) > 0 {
+	if len(tx.retransQ) > 0 {
 		// A timer expiry means the estimate was wrong or the path is
 		// down: back off before retransmitting (transmitSkb re-arms with
 		// the doubled value), so a dead link decays to sparse probes
 		// instead of a fixed-rate retransmission storm.
-		s.rtoBackoff++
+		tx.rtoBackoff++
 		s.goBackN(env)
 	}
-	s.slock.Unlock(env)
+	ctl.slock.Unlock(env)
 }
 
 // rto is the current retransmission timeout: the configured initial
@@ -657,7 +629,7 @@ func (s *Socket) rto() sim.Time {
 		max = init
 	}
 	rto := init
-	for i := uint(0); i < s.rtoBackoff; i++ {
+	for i := uint(0); i < s.tx().rtoBackoff; i++ {
 		rto <<= 1
 		if rto >= max || rto < init { // saturate, and guard shift overflow
 			return sim.Time(max)
@@ -673,22 +645,24 @@ func (s *Socket) rto() sim.Time {
 // point. The receiver is go-back-N (it dropped everything past the first
 // gap), so resending the window is both necessary and sufficient.
 func (s *Socket) goBackN(env *kern.Env) {
-	s.recoverSeq = s.sndNxt
-	for _, skb := range s.retransQ {
-		s.Retransmits++
+	tx := s.tx()
+	tx.recoverSeq = tx.sndNxt
+	for _, skb := range tx.retransQ {
+		s.stat().retransmits++
 		s.transmitSkb(env, skb)
 	}
 }
 
 // onDelackTimer flushes a pending delayed ACK.
 func (s *Socket) onDelackTimer(env *kern.Env) {
-	s.delackArmed = false
+	ctl := s.ctl()
+	ctl.delackArmed = false
 	env.Run(s.st.p.tcpDelackTimer, func(x *cpu.Exec) {
-		x.Instr(150, 0.18, 0.015).Load(s.ctxAddr, 64)
+		x.Instr(150, 0.18, 0.015).Load(ctl.ctxAddr, 64)
 	})
-	s.slock.Lock(env)
-	if !s.ownedByUser && s.segsSinceAck > 0 {
+	ctl.slock.Lock(env)
+	if !ctl.ownedByUser && s.rx().segsSinceAck > 0 {
 		s.sendAck(env)
 	}
-	s.slock.Unlock(env)
+	ctl.slock.Unlock(env)
 }

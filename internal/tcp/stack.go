@@ -82,14 +82,73 @@ type Stack struct {
 	Drv  *netdev.Driver
 	Pool *Pool
 
-	sockets map[int]*Socket
-	clients map[int]*Client
+	// arena is the struct-of-arrays socket store (arena.go); connSock
+	// and connClient map connection ids to arena handles and far-end
+	// clients (dense slices — connection ids are small integers).
+	arena      sockArena
+	connSock   []Handle
+	connClient []*Client
+
+	// released aggregates per-connection counters of churned (Released)
+	// connections; releasedClientRexmits their clients' retransmissions.
+	released              sockStats
+	releasedClientRexmits uint64
+
+	// listener is the stack's accept point (Listen); nil until a server
+	// workload listens. OrphanDrops counts packets that arrived for a
+	// connection with no socket and no listener to give them to (late
+	// ACKs for churned connections).
+	listener    *Listener
+	OrphanDrops uint64
+	lp          listenProcs
 
 	// hashAddr is the TCP established-connections hash table; lookups
 	// touch a bucket line per packet.
 	hashAddr mem.Addr
 
 	p procs
+}
+
+// lookupSocket resolves a connection id to its live socket (nil when
+// unknown or released).
+func (st *Stack) lookupSocket(conn int) *Socket {
+	if conn < 0 || conn >= len(st.connSock) || st.connSock[conn] < 0 {
+		return nil
+	}
+	return st.arena.socks[st.connSock[conn]]
+}
+
+// lookupClient resolves a connection id to its far-end client.
+func (st *Stack) lookupClient(conn int) *Client {
+	if conn < 0 || conn >= len(st.connClient) {
+		return nil
+	}
+	return st.connClient[conn]
+}
+
+func (st *Stack) ensureConn(conn int) {
+	for len(st.connSock) <= conn {
+		st.connSock = append(st.connSock, -1)
+		st.connClient = append(st.connClient, nil)
+	}
+}
+
+func (st *Stack) bindConn(conn int, h Handle) {
+	st.ensureConn(conn)
+	st.connSock[conn] = h
+}
+
+func (st *Stack) bindClient(conn int, c *Client) {
+	st.ensureConn(conn)
+	st.connClient[conn] = c
+}
+
+// unbindConn severs a released connection's id: late frames for it
+// become orphans rather than aliasing the slot's next tenant.
+func (st *Stack) unbindConn(conn int) {
+	if conn >= 0 && conn < len(st.connSock) {
+		st.connSock[conn] = -1
+	}
 }
 
 // procs holds every simulated stack procedure, named and binned as the
@@ -154,8 +213,6 @@ func New(k *kern.Kernel, cfg Config) *Stack {
 	st := &Stack{
 		K:        k,
 		Cfg:      cfg,
-		sockets:  make(map[int]*Socket),
-		clients:  make(map[int]*Client),
 		hashAddr: k.Space.AllocPage(16<<10, "tcp_ehash"),
 	}
 	st.Pool = newPool(st, cfg.PoolSKBs, cfg.PoolHeaders)
@@ -215,7 +272,7 @@ type demux struct{ st *Stack }
 
 // ToPeer implements netdev.Peer.
 func (d *demux) ToPeer(f netdev.WireFrame) {
-	if c := d.st.clients[f.Conn]; c != nil {
+	if c := d.st.lookupClient(f.Conn); c != nil {
 		c.ToPeer(f)
 	}
 }
@@ -244,10 +301,10 @@ func (st *Stack) AddNICWithConfig(cfg netdev.NICConfig) *netdev.NIC {
 }
 
 // Socket returns the socket for a connection id.
-func (st *Stack) Socket(conn int) *Socket { return st.sockets[conn] }
+func (st *Stack) Socket(conn int) *Socket { return st.lookupSocket(conn) }
 
 // Client returns the far-end model for a connection id.
-func (st *Stack) Client(conn int) *Client { return st.clients[conn] }
+func (st *Stack) Client(conn int) *Client { return st.lookupClient(conn) }
 
 // allocRxBuf refills a NIC ring slot: alloc_skb in softirq context.
 func (st *Stack) allocRxBuf(env *kern.Env) (mem.Addr, any) {

@@ -98,8 +98,8 @@ func TestReceiveDeliversToReader(t *testing.T) {
 	if got != reads*size {
 		t.Fatalf("read %d bytes, want %d", got, reads*size)
 	}
-	if r.s.AppBytesIn != reads*size {
-		t.Fatalf("socket counted %d bytes", r.s.AppBytesIn)
+	if r.s.AppBytesIn() != reads*size {
+		t.Fatalf("socket counted %d bytes", r.s.AppBytesIn())
 	}
 }
 
@@ -138,8 +138,8 @@ func TestNagleCoalescesSmallWrites(t *testing.T) {
 	if got := r.c.BytesReceived; got != writes*128 {
 		t.Fatalf("client received %d, want %d", got, writes*128)
 	}
-	if r.s.SegsOut >= writes {
-		t.Fatalf("%d segments for %d writes — Nagle not coalescing", r.s.SegsOut, writes)
+	if r.s.SegsOut() >= writes {
+		t.Fatalf("%d segments for %d writes — Nagle not coalescing", r.s.SegsOut(), writes)
 	}
 }
 
@@ -182,7 +182,7 @@ func TestBacklogDefersWhileUserOwnsSocket(t *testing.T) {
 	if total != 30*(16<<10) {
 		t.Fatalf("read %d", total)
 	}
-	if r.s.BacklogDeferrals == 0 {
+	if r.s.BacklogDeferrals() == 0 {
 		t.Fatal("no packets ever hit the socket backlog — lock_sock window never overlapped softirq")
 	}
 }
@@ -288,7 +288,7 @@ func TestTimersArmedAndDisarmed(t *testing.T) {
 		t.Fatal("data not fully acknowledged")
 	}
 	// All data ACKed: the retransmit timer must be disarmed.
-	if r.s.retransTimer.Active() {
+	if r.s.RetransTimerActive() {
 		t.Fatal("retransmit timer still armed after full ACK")
 	}
 	// mod_timer cost must have been charged in the Timers bin.

@@ -74,6 +74,19 @@ func NewPlan(t Topology) (*Plan, error) {
 // NICOf maps a connection to its adapter.
 func (p *Plan) NICOf(conn int) int { return p.Topo.NICOf(conn) }
 
+// QueueFor steers an arbitrary flow id to a receive queue: the planned
+// steering for in-range flows, and the plan wrapped around its
+// connection range for flows beyond it (connection-churn workloads
+// generate far more flows than the plan's population). The caller must
+// bound the result by its NIC's queue count on non-uniform shapes.
+// -1 leaves the device's hash in charge.
+func (p *Plan) QueueFor(flow int) int {
+	if len(p.FlowQueues) == 0 || flow < 0 {
+		return -1
+	}
+	return p.FlowQueues[flow%len(p.FlowQueues)]
+}
+
 // VectorFor reports the interrupt vector serving connection i: its
 // steered queue's vector, or the NIC's first vector under hash steering.
 func (p *Plan) VectorFor(conn int) apic.Vector {

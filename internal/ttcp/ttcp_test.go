@@ -56,8 +56,8 @@ func TestLaunchRXConsumesSource(t *testing.T) {
 	if p.Transactions == 0 {
 		t.Fatal("no read transactions completed")
 	}
-	if sock.AppBytesIn != p.Transactions*4096 {
-		t.Fatalf("socket bytes %d vs %d transactions", sock.AppBytesIn, p.Transactions)
+	if sock.AppBytesIn() != p.Transactions*4096 {
+		t.Fatalf("socket bytes %d vs %d transactions", sock.AppBytesIn(), p.Transactions)
 	}
 }
 

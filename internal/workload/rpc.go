@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RPC is the closed-loop request/response workload over the
+// pre-established connections: each connection runs a server process
+// (read a request, write the next response from the mix) against a
+// client that issues its next request the moment the previous full
+// response arrives — a browser against a static-content server, the
+// paper's §4 web projection. Per-request latency (issue → last response
+// byte) is recorded into a quantile sketch.
+type RPC struct {
+	spec     Spec
+	lat      *stats.Sketch
+	requests uint64
+}
+
+func newRPC(spec Spec) *RPC {
+	return &RPC{spec: spec, lat: stats.NewSketch()}
+}
+
+// Name implements Workload.
+func (w *RPC) Name() string { return "rpc" }
+
+// PreEstablish implements Workload.
+func (w *RPC) PreEstablish() bool { return true }
+
+// Launch implements Workload. The spawn and buffer-allocation sequence
+// matches the original examples/webserver loop, so the web workload's
+// trajectory is unchanged by running through this layer.
+func (w *RPC) Launch(m *Machine) {
+	mix := w.spec.mixTable()
+	req := w.spec.ReqBytes
+	rspBufBytes := pageRound(w.spec.MaxResponseBytes())
+	for i := range m.Sockets {
+		i := i
+		sock := m.Sockets[i]
+		client := m.Clients[i]
+		reqBuf := m.K.Space.AllocPage(4096, fmt.Sprintf("reqbuf%d", i))
+		rspBuf := m.K.Space.AllocPage(rspBufBytes, fmt.Sprintf("rspbuf%d", i))
+
+		// The worker process: read a request, serve the next template.
+		m.K.Spawn(fmt.Sprintf("httpd%d", i), m.Plan.StartCPUs[i], m.Plan.ProcMasks[i],
+			func(env *kern.Env) {
+				for n := 0; ; n++ {
+					sock.Read(env, reqBuf, req)
+					sock.Write(env, rspBuf, mix[(i+n)%len(mix)])
+				}
+			})
+
+		// The client: issue the next request once the full response for
+		// the previous one has arrived (closed-loop, like a browser).
+		seq := 0
+		expected := mix[i%len(mix)]
+		got := 0
+		var issuedAt sim.Time
+		client.OnReceive(func(n int) {
+			got += n
+			for got >= expected {
+				got -= expected
+				w.requests++
+				w.lat.Add(uint64(m.Eng.Now() - issuedAt))
+				seq++
+				expected = mix[(i+seq)%len(mix)]
+				issuedAt = m.Eng.Now()
+				client.SendBytes(req)
+			}
+		})
+		// Staggered first requests so the connections do not start in
+		// lockstep.
+		m.Eng.At(sim.Time(1000+i*997), func() {
+			issuedAt = m.Eng.Now()
+			client.SendBytes(req)
+		})
+	}
+}
+
+// Bytes implements Workload: response bytes delivered to the clients.
+func (w *RPC) Bytes(m *Machine) uint64 {
+	var total uint64
+	for _, c := range m.Clients {
+		total += c.BytesReceived
+	}
+	return total
+}
+
+// Transactions implements Workload: completed requests.
+func (w *RPC) Transactions(m *Machine) uint64 { return w.requests }
+
+// Latency implements Workload.
+func (w *RPC) Latency() *stats.Sketch { return w.lat }
+
+// OpenLoop implements Workload.
+func (w *RPC) OpenLoop() bool { return false }
+
+// Quiescible implements Workload: the server loops never observe a stop
+// flag, so the ttcp quiesce protocol does not apply.
+func (w *RPC) Quiescible() bool { return false }

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseInlineSpecs(t *testing.T) {
+	cases := []struct {
+		in    string
+		check func(t *testing.T, s *Spec)
+	}{
+		{"bulk", func(t *testing.T, s *Spec) {
+			if s.Kind != KindBulk || s.Alternate {
+				t.Errorf("got kind=%q alternate=%v", s.Kind, s.Alternate)
+			}
+			if !s.IsDefaultBulk() {
+				t.Error("plain bulk should be the default-bulk merge class")
+			}
+		}},
+		{"bulk,alternate=true", func(t *testing.T, s *Spec) {
+			if !s.Alternate {
+				t.Error("alternate not set")
+			}
+			if s.IsDefaultBulk() {
+				t.Error("alternating bulk must not merge with the default")
+			}
+		}},
+		{"rpc", func(t *testing.T, s *Spec) {
+			if s.Kind != KindRPC || s.Mix != MixWeb || s.ReqBytes != 384 {
+				t.Errorf("rpc defaults: mix=%q req=%d", s.Mix, s.ReqBytes)
+			}
+		}},
+		{"rpc,req=512,rsp=16384,mix=fixed", func(t *testing.T, s *Spec) {
+			if s.ReqBytes != 512 || s.RspBytes != 16384 || s.Mix != MixFixed {
+				t.Errorf("got req=%d rsp=%d mix=%q", s.ReqBytes, s.RspBytes, s.Mix)
+			}
+		}},
+		{"openloop,conns=100000,interval=20000,arrival=pareto,alpha=1.3,mix=short,timeout=1e9", func(t *testing.T, s *Spec) {
+			if s.Kind != KindOpenLoop || s.Conns != 100_000 || s.IntervalCycles != 20_000 {
+				t.Errorf("got kind=%q conns=%d interval=%d", s.Kind, s.Conns, s.IntervalCycles)
+			}
+			if s.Arrival != ArrivalPareto || s.Alpha != 1.3 || s.Mix != MixShort {
+				t.Errorf("got arrival=%q alpha=%g mix=%q", s.Arrival, s.Alpha, s.Mix)
+			}
+			if s.TimeoutCycles != 1_000_000_000 {
+				t.Errorf("float notation: timeout=%d", s.TimeoutCycles)
+			}
+			if s.MaxIntervalCycles != 64*s.IntervalCycles {
+				t.Errorf("maxinterval default: %d", s.MaxIntervalCycles)
+			}
+		}},
+		{"OPENLOOP, Conns=10, Servers=2, Backlog=4", func(t *testing.T, s *Spec) {
+			if s.Kind != KindOpenLoop || s.Conns != 10 || s.Servers != 2 || s.Backlog != 4 {
+				t.Errorf("case/space tolerance: %+v", s)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		tc.check(t, s)
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"warp",                      // unknown kind
+		"openloop,conns",            // not key=value
+		"openloop,zorp=1",           // unknown key
+		"openloop,conns=x",          // unparsable value
+		"openloop,alpha=0.5",        // shape without a finite mean
+		"openloop,backlog=-1",       // bad pool shape
+		"rpc,mix=gopher",            // unknown mix
+		"openloop,arrival=uniform",  // unknown arrival process
+		"@/definitely/missing.json", // unreadable file
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", in)
+		}
+	}
+}
+
+func TestParseSpecFile(t *testing.T) {
+	want := Spec{Kind: KindOpenLoop, Conns: 5000, Arrival: ArrivalPareto, IntervalCycles: 30_000}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wl.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse("@" + path)
+	if err != nil {
+		t.Fatalf("Parse(@file): %v", err)
+	}
+	if s.Kind != want.Kind || s.Conns != want.Conns || s.Arrival != want.Arrival || s.IntervalCycles != want.IntervalCycles {
+		t.Errorf("file spec round-trip: got %+v", s)
+	}
+	if s.Backlog == 0 || s.TimeoutCycles == 0 {
+		t.Error("defaults not applied to file specs")
+	}
+}
+
+func TestBuildResolvesKinds(t *testing.T) {
+	for spec, want := range map[string]string{
+		"bulk":     "bulk",
+		"rpc":      "rpc",
+		"openloop": "openloop",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Build(s)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		if w.Name() != want {
+			t.Errorf("Build(%q).Name() = %q", spec, w.Name())
+		}
+	}
+	if w, err := Build(nil); err != nil || w.Name() != "bulk" {
+		t.Errorf("Build(nil) = %v, %v; want the bulk default", w, err)
+	}
+	if _, err := Build(&Spec{Kind: "warp"}); err == nil {
+		t.Error("Build accepted an unknown kind")
+	}
+}
+
+func TestMixTables(t *testing.T) {
+	s := &Spec{Kind: KindOpenLoop, RspBytes: 2048, Mix: MixFixed}
+	if got := s.mixTable(); len(got) != 1 || got[0] != 2048 {
+		t.Errorf("fixed mix table %v", got)
+	}
+	for _, mix := range []string{MixWeb, MixShort, MixMixed} {
+		s.Mix = mix
+		tbl := s.mixTable()
+		if len(tbl) < 2 {
+			t.Errorf("mix %q table too small: %v", mix, tbl)
+		}
+		if s.MaxResponseBytes() < tbl[len(tbl)-1] {
+			t.Errorf("mix %q MaxResponseBytes %d below table max", mix, s.MaxResponseBytes())
+		}
+	}
+}

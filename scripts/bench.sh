@@ -26,6 +26,10 @@ echo "== sweep benchmarks (end to end) =="
 go test . -run XXX -bench 'BenchmarkSweep' -benchtime 1x -count 1 \
     | tee -a "$TMP/bench.txt"
 
+echo "== open-loop cell (100k-connection churn, run to completion) =="
+go test . -run XXX -bench 'BenchmarkOpenLoopCell' -benchtime 1x -count 1 -timeout 30m \
+    | tee -a "$TMP/bench.txt"
+
 out="${BENCH_OUT:-}"
 if [ -z "$out" ]; then
     n=1
