@@ -32,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/netdev"
 	"repro/internal/perf"
 	"repro/internal/prof"
 	"repro/internal/serve"
@@ -415,3 +416,28 @@ type LatencySketch = stats.Sketch
 // leading "@", from a JSON spec file. Defaults are applied and the
 // result validated.
 func ParseWorkload(spec string) (*WorkloadSpec, error) { return workload.Parse(spec) }
+
+// --- interrupt steering and coalescing ---
+
+// CoalesceConfig selects the NICs' receive-interrupt coalescing model:
+// the legacy fixed inter-IRQ throttle (zero value / nil), an absolute
+// hold-off timer, a frame-count threshold with a timeout backstop, or
+// the adaptive mode that widens its window with observed burst rate.
+// Set it on Config.Coalesce; nil is the legacy default and leaves the
+// run byte-identical to one without the coalescing subsystem.
+type CoalesceConfig = netdev.CoalesceConfig
+
+// The coalescing modes.
+const (
+	CoalesceLegacy   = netdev.CoalesceLegacy
+	CoalesceTimer    = netdev.CoalesceTimer
+	CoalesceFrames   = netdev.CoalesceFrames
+	CoalesceAdaptive = netdev.CoalesceAdaptive
+)
+
+// ParseCoalesce builds a coalescing config from the CLI/HTTP syntax — a
+// mode followed by comma-separated key=value pairs, e.g.
+// "timer,usecs=100" or "adaptive,min=5,max=250,frames=8" — or, with a
+// leading "@", from a JSON config file. Empty selects the legacy
+// throttle (nil). Defaults are applied and the result validated.
+func ParseCoalesce(spec string) (*CoalesceConfig, error) { return core.ParseCoalesce(spec) }

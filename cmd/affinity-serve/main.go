@@ -16,6 +16,9 @@
 //	-workload spec       default workload for requests that omit one
 //	                     (core.ParseWorkload syntax, e.g.
 //	                     "openloop,conns=100000"; empty = bulk ttcp)
+//	-coalesce spec       default coalescing model for requests that omit
+//	                     one (core.ParseCoalesce syntax, e.g.
+//	                     "adaptive,min=5,max=250"; empty = legacy throttle)
 //	-version             print the build version and exit
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (NDJSON stream), GET
@@ -53,6 +56,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", os.Getenv(cache.DirEnv), "on-disk result store directory (empty = memory only)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	workloadFlag := flag.String("workload", "", `default workload spec for requests that omit one ("kind,k=v,..." or @spec.json; empty = bulk ttcp)`)
+	coalesceFlag := flag.String("coalesce", "", `default coalescing spec for requests that omit one ("mode,k=v,..." or @config.json; empty = legacy throttle)`)
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -69,6 +73,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *coalesceFlag != "" {
+		if _, err := core.ParseCoalesce(*coalesceFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-serve:", err)
+			os.Exit(2)
+		}
+	}
 
 	c := cache.New(*cacheBytes, *cacheDir)
 	srv := serve.New(serve.Options{
@@ -77,6 +87,7 @@ func main() {
 		MaxInflight:     *maxInflight,
 		Timeout:         *timeout,
 		DefaultWorkload: *workloadFlag,
+		DefaultCoalesce: *coalesceFlag,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

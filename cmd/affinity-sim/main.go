@@ -13,7 +13,18 @@
 //	-queues n                    receive (RSS) queues per NIC (default 1)
 //	-conns  n                    connections/processes (0 = one per NIC)
 //	-policy name                 placement policy override
-//	                             (none|process|irq|full|partition|rotate|rss)
+//	                             (none|process|irq|full|partition|rotate|rss|
+//	                             flowdirector). flowdirector stripes flows
+//	                             like rss but re-programs a flow's queue to
+//	                             follow its process across migrations,
+//	                             which can reorder in-flight frames.
+//	-coalesce spec               receive-interrupt coalescing model: a mode
+//	                             (legacy|timer|frames|adaptive) followed by
+//	                             comma-separated key=value pairs, e.g.
+//	                             "timer,usecs=100" or
+//	                             "adaptive,min=5,max=250,frames=8", or
+//	                             @config.json. Empty keeps the legacy
+//	                             fixed inter-IRQ throttle.
 //	-seed   n                    simulation seed (default 1)
 //	-warmup cycles               warmup window (default 60e6)
 //	-measure cycles              measured window (default 240e6)
@@ -82,7 +93,8 @@ func main() {
 	nics := flag.Int("nics", 8, "number of NICs (one connection and process each)")
 	queues := flag.Int("queues", 1, "receive (RSS) queues per NIC")
 	conns := flag.Int("conns", 0, "connections/processes (0 = one per NIC)")
-	policyFlag := flag.String("policy", "", "placement policy override: none|process|irq|full|partition|rotate|rss")
+	policyFlag := flag.String("policy", "", "placement policy override: none|process|irq|full|partition|rotate|rss|flowdirector")
+	coalesceFlag := flag.String("coalesce", "", `receive-interrupt coalescing: "mode,k=v,..." (modes legacy|timer|frames|adaptive, e.g. "timer,usecs=100") or @config.json; empty = the legacy fixed throttle`)
 	planOnly := flag.Bool("plan", false, "print the computed placement plan and exit")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 60_000_000, "warmup cycles")
@@ -185,6 +197,14 @@ func main() {
 		}
 		cfg.Workload = spec
 	}
+	if *coalesceFlag != "" {
+		co, err := affinity.ParseCoalesce(*coalesceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Coalesce = co
+	}
 	if *planOnly {
 		fmt.Println(plan)
 		for n := range plan.QueueVectors {
@@ -264,6 +284,10 @@ func main() {
 		if r.ConnsGenerated > 0 {
 			fmt.Printf("churn: %d generated, %d completed, %d abandoned, %d SYN drops\n",
 				r.ConnsGenerated, r.Transactions, r.ConnsAbandoned, r.SynDrops)
+		}
+		if r.OutOfOrder > 0 || r.FlowResteers > 0 {
+			fmt.Printf("reorder: %d out-of-order drops, %d dup ACKs, %d fast retransmits, %d flow re-steers\n",
+				r.OutOfOrder, r.DupAcks, r.FastRetransmits, r.FlowResteers)
 		}
 		if !cfg.Faults.Empty() {
 			fmt.Printf("faults: %d wire drops, %d retransmits, goodput ratio %.4f",

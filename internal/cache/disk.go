@@ -41,6 +41,14 @@ type storedResult struct {
 	InvariantsChecked  bool
 	InvariantViolation string
 
+	// Reordering metrics from flow-director re-steering (or wire loss).
+	// Absent in pre-existing cache entries, which decode them as zero —
+	// exactly what those legacy-steered runs measured.
+	OutOfOrder      uint64
+	DupAcks         uint64
+	FastRetransmits uint64
+	FlowResteers    uint64
+
 	// Engine is the scheduler's cumulative counter snapshot. It is
 	// deterministic per Config, so a cached replay carries the same
 	// numbers a fresh run would produce. Absent in pre-existing cache
@@ -109,6 +117,10 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 		FlapRecoveryCycles: sr.FlapRecoveryCycles,
 		InvariantsChecked:  sr.InvariantsChecked,
 		InvariantViolation: sr.InvariantViolation,
+		OutOfOrder:         sr.OutOfOrder,
+		DupAcks:            sr.DupAcks,
+		FastRetransmits:    sr.FastRetransmits,
+		FlowResteers:       sr.FlowResteers,
 		Engine:             sr.Engine,
 		Requests:           sr.Requests,
 		LatencyP50Cycles:   sr.LatencyP50Cycles,
@@ -151,6 +163,10 @@ func (c *Cache) storeDisk(key string, res *core.Result) {
 		FlapRecoveryCycles: res.FlapRecoveryCycles,
 		InvariantsChecked:  res.InvariantsChecked,
 		InvariantViolation: res.InvariantViolation,
+		OutOfOrder:         res.OutOfOrder,
+		DupAcks:            res.DupAcks,
+		FastRetransmits:    res.FastRetransmits,
+		FlowResteers:       res.FlowResteers,
 		Engine:             res.Engine,
 		Requests:           res.Requests,
 		LatencyP50Cycles:   res.LatencyP50Cycles,

@@ -20,7 +20,7 @@ import (
 // scheme itself changes (not when the simulator changes — simulator
 // changes that alter results must be handled by operators discarding the
 // disk store, see the server's /healthz build version).
-const fingerprintVersion = "affinity-fp-v3"
+const fingerprintVersion = "affinity-fp-v4"
 
 // coveredFields records, per configuration struct the fingerprint walks,
 // the exact field set the implementation handles. TestFingerprintCoversConfig
@@ -36,7 +36,7 @@ var coveredFields = map[string][]string{
 		"Mode", "Dir", "Size", "NumCPUs", "NumNICs", "Topology", "Policy",
 		"Seed", "WarmupCycles", "MeasureCycles", "RotateIRQs", "SkipWorkload",
 		"ThinkCycles", "RecordLatency", "Trace", "GaugeCycles",
-		"CPU", "Tune", "TCP", "Faults", "Workload",
+		"CPU", "Tune", "TCP", "Faults", "Coalesce", "Workload",
 	},
 	"workload.Spec": {
 		"Kind", "Alternate", "ReqBytes", "RspBytes", "Mix",
@@ -54,12 +54,13 @@ var coveredFields = map[string][]string{
 	"topo.Topology": {"NumCPUs", "Domains", "NICs", "Conns"},
 	"topo.NICShape": {"Queues", "LinkBps"},
 	"trace.Config":  {"Capacity"},
-	"topo.Plan":     {"Topo", "Policy", "QueueVectors", "IRQMasks", "ProcMasks", "StartCPUs", "FlowQueues", "RotateIRQs"},
+	"topo.Plan":     {"Topo", "Policy", "QueueVectors", "IRQMasks", "ProcMasks", "StartCPUs", "FlowQueues", "RotateIRQs", "FlowDirector"},
 	"netdev.NICConfig": {
 		"Vector", "LinkBps", "TxRing", "RxRing", "CoalesceCycles",
-		"WireLatencyCycles", "LossRate", "NAPI", "QueueVectors",
+		"WireLatencyCycles", "LossRate", "NAPI", "QueueVectors", "Coalesce",
 	},
-	"fault.Schedule": {"Events"},
+	"netdev.CoalesceConfig": {"Mode", "Usecs", "Frames", "MinUsecs", "MaxUsecs"},
+	"fault.Schedule":        {"Events"},
 	"fault.Event": {
 		"Kind", "NIC", "CPU", "From", "Until", "Rate", "BadRate",
 		"PEnterBad", "PExitBad", "DelayCycles", "JitterCycles", "PeriodCycles",
@@ -106,6 +107,15 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 		p("trace.cap=%d\n", cfg.Trace.Capacity)
 	}
 
+	// Coalescing model. Nil and an explicit legacy config simulate
+	// identically (String normalizes both to "legacy"), so both hash as
+	// the absence of this section; the resolved per-device line below
+	// covers it again through NICConfigFor, but this line also covers
+	// the PlanFor-error path so the key stays total.
+	if cfg.Coalesce != nil && !cfg.Coalesce.Legacy() {
+		p("coalesce=%s\n", cfg.Coalesce.String())
+	}
+
 	// Machine shape, resolved: NumCPUs/NumNICs and an equivalent explicit
 	// Topology hash identically, as they simulate identically.
 	t := cfg.Topo()
@@ -123,7 +133,7 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 	if plan, err := core.PlanFor(cfg); err != nil {
 		p("plan.err=%v\n", err)
 	} else {
-		p("plan policy=%q rotate=%t\n", plan.Policy, plan.RotateIRQs)
+		p("plan policy=%q rotate=%t fd=%t\n", plan.Policy, plan.RotateIRQs, plan.FlowDirector)
 		for n := range plan.QueueVectors {
 			p("plan.nic%d vecs=%v masks=%v\n", n, plan.QueueVectors[n], plan.IRQMasks[n])
 		}
@@ -132,10 +142,10 @@ func writeFingerprint(w io.Writer, cfg core.Config) {
 		// hands each NIC (ring sizes, coalescing, wire latency, loss),
 		// so device-model knobs can never slip past the key.
 		for n := range plan.QueueVectors {
-			nc := core.NICConfigFor(plan, n)
-			p("nicdev%d vec=%d link=%d tx=%d rx=%d coalesce=%d wirelat=%d loss=%g napi=%t qvecs=%v\n",
+			nc := core.NICConfigFor(plan, cfg.Coalesce, n)
+			p("nicdev%d vec=%d link=%d tx=%d rx=%d coalesce=%d co=%s wirelat=%d loss=%g napi=%t qvecs=%v\n",
 				n, nc.Vector, nc.LinkBps, nc.TxRing, nc.RxRing, nc.CoalesceCycles,
-				nc.WireLatencyCycles, nc.LossRate, nc.NAPI, nc.QueueVectors)
+				nc.Coalesce.String(), nc.WireLatencyCycles, nc.LossRate, nc.NAPI, nc.QueueVectors)
 		}
 	}
 

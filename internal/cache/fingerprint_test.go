@@ -26,19 +26,20 @@ import (
 // entry.
 func TestFingerprintCoversConfig(t *testing.T) {
 	types := map[string]reflect.Type{
-		"core.Config":      reflect.TypeOf(core.Config{}),
-		"cpu.Config":       reflect.TypeOf(cpu.Config{}),
-		"cpu.Penalties":    reflect.TypeOf(cpu.Penalties{}),
-		"kern.Tuning":      reflect.TypeOf(kern.Tuning{}),
-		"tcp.Config":       reflect.TypeOf(tcp.Config{}),
-		"topo.Topology":    reflect.TypeOf(topo.Topology{}),
-		"topo.NICShape":    reflect.TypeOf(topo.NICShape{}),
-		"trace.Config":     reflect.TypeOf(trace.Config{}),
-		"topo.Plan":        reflect.TypeOf(topo.Plan{}),
-		"netdev.NICConfig": reflect.TypeOf(netdev.NICConfig{}),
-		"fault.Schedule":   reflect.TypeOf(fault.Schedule{}),
-		"fault.Event":      reflect.TypeOf(fault.Event{}),
-		"workload.Spec":    reflect.TypeOf(workload.Spec{}),
+		"core.Config":           reflect.TypeOf(core.Config{}),
+		"cpu.Config":            reflect.TypeOf(cpu.Config{}),
+		"cpu.Penalties":         reflect.TypeOf(cpu.Penalties{}),
+		"kern.Tuning":           reflect.TypeOf(kern.Tuning{}),
+		"tcp.Config":            reflect.TypeOf(tcp.Config{}),
+		"topo.Topology":         reflect.TypeOf(topo.Topology{}),
+		"topo.NICShape":         reflect.TypeOf(topo.NICShape{}),
+		"trace.Config":          reflect.TypeOf(trace.Config{}),
+		"topo.Plan":             reflect.TypeOf(topo.Plan{}),
+		"netdev.NICConfig":      reflect.TypeOf(netdev.NICConfig{}),
+		"netdev.CoalesceConfig": reflect.TypeOf(netdev.CoalesceConfig{}),
+		"fault.Schedule":        reflect.TypeOf(fault.Schedule{}),
+		"fault.Event":           reflect.TypeOf(fault.Event{}),
+		"workload.Spec":         reflect.TypeOf(workload.Spec{}),
 	}
 	for name, typ := range types {
 		covered, ok := coveredFields[name]

@@ -34,6 +34,15 @@ type ResultExport struct {
 	InvariantsChecked  bool     `json:"invariants_checked,omitempty"`
 	InvariantViolation string   `json:"invariant_violation,omitempty"`
 
+	// Reordering metrics: go-back-N out-of-order drops across both
+	// ends, the dup ACKs they drew, dup-ACK-triggered retransmission
+	// episodes, and flow-director queue re-programs. Zero-valued and
+	// omitted on statically-steered clean runs.
+	OutOfOrder      uint64 `json:"out_of_order,omitempty"`
+	DupAcks         uint64 `json:"dup_acks,omitempty"`
+	FastRetransmits uint64 `json:"fast_retransmits,omitempty"`
+	FlowResteers    uint64 `json:"flow_resteers,omitempty"`
+
 	// Workload-layer metrics: request-latency quantiles (cycles) for
 	// latency-recording workloads and the open-loop cell's churn
 	// accounting. Zero-valued and omitted for the bulk workload.
@@ -87,6 +96,11 @@ func (r *Result) Export() ResultExport {
 		InvariantsChecked:  r.InvariantsChecked,
 		InvariantViolation: r.InvariantViolation,
 
+		OutOfOrder:      r.OutOfOrder,
+		DupAcks:         r.DupAcks,
+		FastRetransmits: r.FastRetransmits,
+		FlowResteers:    r.FlowResteers,
+
 		Requests:          r.Requests,
 		LatencyP50Cycles:  r.LatencyP50Cycles,
 		LatencyP99Cycles:  r.LatencyP99Cycles,
@@ -125,7 +139,7 @@ func (r *Result) JSON() (string, error) {
 
 // CSVHeader is the column list matching Result.CSVRow.
 func CSVHeader() string {
-	return "mode,dir,size,seed,mbps,util,cost_ghz_per_gbps,transactions,bytes,drops,overall_cpi,overall_mpi,machine_clears,llc_misses,ipis,irqs,spin_cycles"
+	return "mode,dir,size,seed,mbps,util,cost_ghz_per_gbps,transactions,bytes,drops,out_of_order,dup_acks,fast_retransmits,flow_resteers,overall_cpi,overall_mpi,machine_clears,llc_misses,ipis,irqs,spin_cycles"
 }
 
 // CSVRow renders the headline metrics as one CSV line.
@@ -141,6 +155,10 @@ func (r *Result) CSVRow() string {
 		fmt.Sprintf("%d", e.Transactions),
 		fmt.Sprintf("%d", e.Bytes),
 		fmt.Sprintf("%d", e.Drops),
+		fmt.Sprintf("%d", e.OutOfOrder),
+		fmt.Sprintf("%d", e.DupAcks),
+		fmt.Sprintf("%d", e.FastRetransmits),
+		fmt.Sprintf("%d", e.FlowResteers),
 		fmt.Sprintf("%.3f", e.OverallCPI),
 		fmt.Sprintf("%.5f", e.OverallMPI),
 		fmt.Sprintf("%d", e.Clears),

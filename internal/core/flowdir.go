@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/kern"
+	"repro/internal/netdev"
+	"repro/internal/topo"
+)
+
+// flowDirector implements workload.FlowSteerer for plans with
+// Plan.FlowDirector set: whenever the task serving a connection runs on
+// a new CPU, the flow's receive queue is re-programmed to the queue
+// whose interrupt that CPU handles — Intel's ethtool ntuple steering
+// ("flow director") following the process, versus RSS's static striping.
+//
+// The re-program happens at dispatch time on the destination CPU (the
+// kernel's OnMigrate hook), which is exactly when it is dangerous:
+// frames of the flow already DMA'd — or coalesce-deferred — on the old
+// queue are still awaiting service there while new frames start
+// interrupting on the new queue, so a migration can reorder the stream.
+// The director is mechanism, not judgment; the EXPERIMENTS.md study
+// measures what the policy costs.
+//
+// Every hook runs inside existing engine events (dispatch, accept,
+// release), schedules nothing and draws no randomness, so a
+// flow-directed run stays a pure function of its Config.
+type flowDirector struct {
+	nics []*netdev.NIC
+	// queueOf[n][cpu] is NIC n's receive queue whose vector is routed
+	// to exactly that CPU, or -1 when no queue interrupts there.
+	queueOf [][]int
+	// owned[t] lists the connections task t currently serves. The
+	// population is bounded by the worker pool, not the connection
+	// count: slices recycle as flows churn.
+	owned map[*kern.Task][]int
+	// resteers counts queue re-programs issued on migration (not the
+	// initial binds).
+	resteers uint64
+}
+
+func newFlowDirector(plan *topo.Plan, nics []*netdev.NIC, numCPUs int) *flowDirector {
+	fd := &flowDirector{
+		nics:    nics,
+		queueOf: make([][]int, len(nics)),
+		owned:   make(map[*kern.Task][]int),
+	}
+	for n := range nics {
+		fd.queueOf[n] = make([]int, numCPUs)
+		for cpu := range fd.queueOf[n] {
+			fd.queueOf[n][cpu] = -1
+		}
+		for q, mask := range plan.IRQMasks[n] {
+			if bits.OnesCount32(mask) == 1 {
+				fd.queueOf[n][bits.TrailingZeros32(mask)] = q
+			}
+		}
+	}
+	return fd
+}
+
+// nicFor maps a connection to its serving device — the same modular
+// striping NewMachine and the churn workloads use.
+func (fd *flowDirector) nicFor(conn int) (int, *netdev.NIC) {
+	n := conn % len(fd.nics)
+	return n, fd.nics[n]
+}
+
+// steer points conn's queue at the one serving cpu, if that NIC has a
+// queue interrupting there (a CPU with no queue keeps the previous
+// steering — real flow director can only choose among existing queues).
+func (fd *flowDirector) steer(conn, cpu int) bool {
+	n, nic := fd.nicFor(conn)
+	if nic.Queues() <= 1 {
+		return false
+	}
+	if q := fd.queueOf[n][cpu]; q >= 0 {
+		nic.SteerFlow(conn, q)
+		return true
+	}
+	return false
+}
+
+// Bind implements workload.FlowSteerer.
+func (fd *flowDirector) Bind(conn int, t *kern.Task) {
+	fd.owned[t] = append(fd.owned[t], conn)
+	fd.steer(conn, t.LastCPU())
+}
+
+// Unbind implements workload.FlowSteerer.
+func (fd *flowDirector) Unbind(conn int, t *kern.Task) {
+	conns := fd.owned[t]
+	for i, c := range conns {
+		if c == conn {
+			fd.owned[t] = append(conns[:i], conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// taskMigrated is the kern.OnMigrate hook: re-steer every flow the
+// migrating task serves to the destination CPU's queue.
+func (fd *flowDirector) taskMigrated(t *kern.Task, from, to int) {
+	for _, conn := range fd.owned[t] {
+		if fd.steer(conn, to) {
+			fd.resteers++
+		}
+	}
+}

@@ -148,6 +148,13 @@ type Config struct {
 	// always sees it.
 	Faults *fault.Schedule
 
+	// Coalesce selects the NICs' interrupt-coalescing model (parse one
+	// with ParseCoalesce). Nil is the legacy fixed per-IRQ throttle the
+	// devices always had, byte-identical to a run before the model was
+	// configurable. Coalescing behaviour flows ONLY through this field,
+	// so the result cache's fingerprint always sees it.
+	Coalesce *netdev.CoalesceConfig
+
 	// Workload selects what runs on the machine (parse one with
 	// ParseWorkload). Nil is the paper's bulk ttcp workload and is
 	// byte-identical to a run before the workload layer existed. The
@@ -236,6 +243,8 @@ type Machine struct {
 	// machine handles it was launched with.
 	WL   workload.Workload
 	view *workload.Machine
+	// fd is the flow director (nil unless Plan.FlowDirector).
+	fd *flowDirector
 }
 
 // NewMachine builds the SUT: kernel, stack, NICs, connections and ttcp
@@ -280,7 +289,7 @@ func NewMachine(cfg Config) *Machine {
 		m.Clients = make([]*tcp.Client, conns)
 	}
 	for n := range t.NICs {
-		nic := st.AddNICWithConfig(NICConfigFor(plan, n))
+		nic := st.AddNICWithConfig(NICConfigFor(plan, cfg.Coalesce, n))
 		m.NICs = append(m.NICs, nic)
 
 		// This NIC's connections, in ascending connection order (the
@@ -332,6 +341,11 @@ func NewMachine(cfg Config) *Machine {
 		ThinkCycles:   cfg.ThinkCycles,
 		RecordLatency: cfg.RecordLatency,
 	}
+	if plan.FlowDirector {
+		m.fd = newFlowDirector(plan, m.NICs, t.NumCPUs)
+		k.OnMigrate = m.fd.taskMigrated
+		m.view.Steer = m.fd
+	}
 	if !cfg.SkipWorkload {
 		wl.Launch(m.view)
 		m.Procs = m.view.Procs
@@ -341,10 +355,11 @@ func NewMachine(cfg Config) *Machine {
 }
 
 // NICConfigFor returns the device configuration NewMachine builds for
-// NIC n of the plan. Exported so the cache fingerprint can hash
-// exactly the per-device config (ring sizes, loss rate, vectors) a run
-// will use, rather than re-deriving it.
-func NICConfigFor(plan *topo.Plan, n int) netdev.NICConfig {
+// NIC n of the plan under the given coalescing model (nil = legacy).
+// Exported so the cache fingerprint can hash exactly the per-device
+// config (ring sizes, loss rate, vectors, coalescing) a run will use,
+// rather than re-deriving it.
+func NICConfigFor(plan *topo.Plan, coalesce *netdev.CoalesceConfig, n int) netdev.NICConfig {
 	t := plan.Topo
 	ncfg := netdev.DefaultNICConfig(plan.QueueVectors[n][0])
 	if t.NICs[n].LinkBps != 0 {
@@ -352,6 +367,9 @@ func NICConfigFor(plan *topo.Plan, n int) netdev.NICConfig {
 	}
 	if t.QueuesOf(n) > 1 {
 		ncfg.QueueVectors = plan.QueueVectors[n]
+	}
+	if coalesce != nil {
+		ncfg.Coalesce = *coalesce
 	}
 	return ncfg
 }
@@ -386,6 +404,35 @@ func (m *Machine) drops() uint64 {
 // released (churned) connections alike.
 func (m *Machine) retransmits() uint64 {
 	return m.St.SocketRetransmits() + m.St.ClientRetransmits()
+}
+
+// outOfOrder sums out-of-order receive drops on both ends of every
+// connection, live or churned: the go-back-N receivers drop any segment
+// that is not the next expected one, so a nonzero count means frames of
+// one flow were serviced out of order (the flow-director re-steering
+// pathology) or lost on the wire.
+func (m *Machine) outOfOrder() uint64 {
+	return m.St.SocketOutOfOrderDrops() + m.St.ClientOutOfOrder()
+}
+
+// dupAcks sums duplicate acknowledgments sent by both ends.
+func (m *Machine) dupAcks() uint64 {
+	return m.St.SocketDupAcks() + m.St.ClientDupAcks()
+}
+
+// fastRetransmits sums dup-ACK-triggered (as opposed to timeout-driven)
+// retransmission episodes on both ends.
+func (m *Machine) fastRetransmits() uint64 {
+	return m.St.SocketFastRetransmits() + m.St.ClientFastRetransmits()
+}
+
+// flowResteers reports queue re-programs the flow director issued on
+// task migrations (0 without one).
+func (m *Machine) flowResteers() uint64 {
+	if m.fd == nil {
+		return 0
+	}
+	return m.fd.resteers
 }
 
 // wireDrops sums frames lost on the wire: random/burst loss plus

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/netdev"
 	"repro/internal/topo"
 	"repro/internal/ttcp"
 	"repro/internal/workload"
@@ -53,7 +54,7 @@ func ParseWorkload(s string) (*workload.Spec, error) {
 // ParsePolicy resolves a built-in placement policy, accepting the same
 // aliases ParseMode does for the mode-shaped policies (proc, int,
 // interrupt, part) on top of the canonical names
-// none|process|irq|full|partition|rotate|rss.
+// none|process|irq|full|partition|rotate|rss|flowdirector.
 func ParsePolicy(s string) (topo.PlacementPolicy, error) {
 	name := strings.ToLower(strings.TrimSpace(s))
 	switch name {
@@ -63,10 +64,21 @@ func ParsePolicy(s string) (topo.PlacementPolicy, error) {
 		name = "irq"
 	case "part":
 		name = "partition"
+	case "fd", "ntuple":
+		name = "flowdirector"
 	}
 	pol, err := topo.PolicyByName(name)
 	if err != nil {
-		return nil, fmt.Errorf("unknown placement policy %q (none|process|irq|full|partition|rotate|rss)", s)
+		return nil, fmt.Errorf("unknown placement policy %q (none|process|irq|full|partition|rotate|rss|flowdirector)", s)
 	}
 	return pol, nil
+}
+
+// ParseCoalesce resolves an interrupt-coalescing spec from the shared
+// CLI/HTTP syntax: a mode followed by comma-separated key=value pairs
+// ("timer,usecs=100", "adaptive,min=5,max=250,frames=8"), or
+// "@file.json" to load a JSON netdev.CoalesceConfig. Empty means the
+// legacy throttle (nil). Defaults are applied and the config validated.
+func ParseCoalesce(s string) (*netdev.CoalesceConfig, error) {
+	return netdev.ParseCoalesce(s)
 }

@@ -46,6 +46,22 @@ type Result struct {
 	GoodputRatio       float64
 	FlapRecoveryCycles []uint64
 
+	// Reordering metrics — all zero on a clean, statically-steered run.
+	//
+	// OutOfOrder counts segments the go-back-N receivers (SUT sockets
+	// and far-end clients alike) dropped for arriving out of order:
+	// nonzero when frames of one flow were serviced from two queues
+	// concurrently (the flow-director re-steering pathology) or after
+	// wire loss. DupAcks counts the duplicate acknowledgments those
+	// drops drew, FastRetransmits the dup-ACK-triggered go-back
+	// episodes (timeout recoveries are counted in Retransmits only).
+	// FlowResteers counts queue re-programs the flow director issued on
+	// task migrations — zero under every static steering policy.
+	OutOfOrder      uint64
+	DupAcks         uint64
+	FastRetransmits uint64
+	FlowResteers    uint64
+
 	// Workload-layer metrics — zero/nil for the bulk ttcp workload,
 	// which records no per-request latency.
 	//
@@ -142,6 +158,10 @@ func (m *Machine) Measure(window uint64) *Result {
 	startRexmits := m.retransmits()
 	startWireDrops := m.wireDrops()
 	startWireBytes := m.wireBytes()
+	startOOO := m.outOfOrder()
+	startDupAcks := m.dupAcks()
+	startFastRexmits := m.fastRetransmits()
+	startResteers := m.flowResteers()
 	snap := m.Ctr.Snapshot()
 	var lat0 *stats.Sketch
 	if l := m.WL.Latency(); l != nil {
@@ -161,17 +181,21 @@ func (m *Machine) Measure(window uint64) *Result {
 
 	elapsed := uint64(m.Eng.Now()) - startCycles
 	r := &Result{
-		Cfg:           m.Cfg,
-		ElapsedCycles: elapsed,
-		Bytes:         m.appBytes() - startBytes,
-		Transactions:  m.transactions() - startTxns,
-		Drops:         m.drops() - startDrops,
-		Retransmits:   m.retransmits() - startRexmits,
-		WireDrops:     m.wireDrops() - startWireDrops,
-		WireBytes:     m.wireBytes() - startWireBytes,
-		Ctr:           m.Ctr.Diff(snap),
-		Trace:         m.Rec,
-		Series:        series,
+		Cfg:             m.Cfg,
+		ElapsedCycles:   elapsed,
+		Bytes:           m.appBytes() - startBytes,
+		Transactions:    m.transactions() - startTxns,
+		Drops:           m.drops() - startDrops,
+		Retransmits:     m.retransmits() - startRexmits,
+		WireDrops:       m.wireDrops() - startWireDrops,
+		WireBytes:       m.wireBytes() - startWireBytes,
+		OutOfOrder:      m.outOfOrder() - startOOO,
+		DupAcks:         m.dupAcks() - startDupAcks,
+		FastRetransmits: m.fastRetransmits() - startFastRexmits,
+		FlowResteers:    m.flowResteers() - startResteers,
+		Ctr:             m.Ctr.Diff(snap),
+		Trace:           m.Rec,
+		Series:          series,
 	}
 	if r.WireBytes > 0 {
 		r.GoodputRatio = float64(r.Bytes) / float64(r.WireBytes)

@@ -359,6 +359,9 @@ func (c *KCPU) dispatch(next *Task) {
 	}
 	if next.lastCPU != c.id {
 		c.k.Stats.Migrations++
+		if c.k.OnMigrate != nil {
+			c.k.OnMigrate(next, next.lastCPU, c.id)
+		}
 	}
 	c.k.Trace.CtxSwitch(c.k.Eng.Now(), c.id, c.lastTaskID, next.ID, next.Name)
 	c.lastTaskID = next.ID

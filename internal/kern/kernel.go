@@ -151,6 +151,13 @@ type Kernel struct {
 	// recording. The kernel, its devices and the stack all stamp records
 	// through this field, which is nil-safe at every call site.
 	Trace *trace.Recorder
+	// OnMigrate, when non-nil, observes every task migration: it runs
+	// at dispatch, on the destination CPU, just before the task's
+	// lastCPU is updated. Flow-director steering hangs off this hook to
+	// chase a migrating process with its flows' receive queues. The
+	// callback must not schedule events or draw randomness — it runs
+	// inside the scheduler and must leave the event stream untouched.
+	OnMigrate func(t *Task, from, to int)
 
 	irqActions map[apic.Vector]*IRQAction
 	softirqs   [numSoftirqs]SoftirqHandler

@@ -1,0 +1,201 @@
+// Interrupt-coalescing models. The paper's PRO/1000s throttle with a
+// single fixed minimum gap between interrupts (NICConfig.CoalesceCycles,
+// the legacy mode and still the default); modern devices expose the
+// richer ethtool vocabulary this file models — an absolute timer that
+// delays the first interrupt after idle, a frame-count threshold that
+// fires early under load, and an adaptive window that widens under burst
+// and narrows when traffic thins (the cure of "Sorting Reordered Packets
+// with Interrupt Coalescing", PAPERS.md: a wide-enough window lets a
+// re-steered flow's old queue drain before the new queue interrupts).
+//
+// Like fault and workload specs, a coalescing setting is declarative
+// construction-time configuration parsed from a small text spec
+// ("mode,usecs=..,frames=.." or @file.json), so the result-cache
+// fingerprint always sees exactly the behaviour a run was given.
+package netdev
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Coalescing mode names. The zero value selects legacy.
+const (
+	// CoalesceLegacy is the paper-era throttle: raise immediately unless
+	// the previous interrupt was less than CoalesceCycles ago.
+	CoalesceLegacy = "legacy"
+	// CoalesceTimer delays every first-interrupt-after-idle by a fixed
+	// absolute window (ethtool rx-usecs): one interrupt per window under
+	// load, added latency when idle.
+	CoalesceTimer = "timer"
+	// CoalesceFrames arms the timer window but fires early once a frame
+	// count accumulates (ethtool rx-frames over rx-usecs).
+	CoalesceFrames = "frames"
+	// CoalesceAdaptive starts from the minimum window and doubles it
+	// whenever a window fills with a burst (≥ Frames events), halving
+	// back when a window closes nearly empty — adaptive-rx moderation.
+	CoalesceAdaptive = "adaptive"
+)
+
+// CoalesceConfig selects and parameterizes a device's coalescing model.
+// The zero value (Mode "") is the legacy fixed-gap throttle, byte-
+// identical to the behaviour before this knob existed.
+type CoalesceConfig struct {
+	// Mode is one of "", legacy, timer, frames, adaptive.
+	Mode string `json:"mode"`
+	// Usecs is the timer window in microseconds (timer and frames
+	// modes).
+	Usecs uint64 `json:"usecs,omitempty"`
+	// Frames is the early-fire threshold (frames mode) or the burst
+	// threshold that widens the adaptive window.
+	Frames int `json:"frames,omitempty"`
+	// MinUsecs and MaxUsecs bound the adaptive window.
+	MinUsecs uint64 `json:"min_usecs,omitempty"`
+	MaxUsecs uint64 `json:"max_usecs,omitempty"`
+}
+
+// Legacy reports whether the config is the paper-era fixed-gap throttle.
+func (c CoalesceConfig) Legacy() bool {
+	return c.Mode == "" || c.Mode == CoalesceLegacy
+}
+
+// ApplyDefaults fills unset parameters with ethtool-flavoured defaults.
+func (c *CoalesceConfig) ApplyDefaults() {
+	switch c.Mode {
+	case CoalesceTimer:
+		if c.Usecs == 0 {
+			c.Usecs = 50
+		}
+	case CoalesceFrames:
+		if c.Usecs == 0 {
+			c.Usecs = 200
+		}
+		if c.Frames == 0 {
+			c.Frames = 8
+		}
+	case CoalesceAdaptive:
+		if c.MinUsecs == 0 {
+			c.MinUsecs = 5
+		}
+		if c.MaxUsecs == 0 {
+			c.MaxUsecs = 250
+		}
+		if c.Frames == 0 {
+			c.Frames = 8
+		}
+	}
+}
+
+// Validate rejects configs the device cannot honour.
+func (c CoalesceConfig) Validate() error {
+	switch c.Mode {
+	case "", CoalesceLegacy:
+		return nil
+	case CoalesceTimer:
+		if c.Usecs == 0 {
+			return fmt.Errorf("coalesce: timer mode needs usecs > 0")
+		}
+	case CoalesceFrames:
+		if c.Usecs == 0 || c.Frames < 1 {
+			return fmt.Errorf("coalesce: frames mode needs usecs > 0 and frames >= 1")
+		}
+	case CoalesceAdaptive:
+		if c.MinUsecs == 0 || c.MaxUsecs < c.MinUsecs || c.Frames < 1 {
+			return fmt.Errorf("coalesce: adaptive mode needs 0 < min <= max and frames >= 1")
+		}
+	default:
+		return fmt.Errorf("coalesce: unknown mode %q (legacy|timer|frames|adaptive)", c.Mode)
+	}
+	return nil
+}
+
+// String renders the config in spec form (diagnostics, fingerprints).
+func (c CoalesceConfig) String() string {
+	if c.Legacy() {
+		return CoalesceLegacy
+	}
+	var b strings.Builder
+	b.WriteString(c.Mode)
+	if c.Usecs != 0 {
+		fmt.Fprintf(&b, ",usecs=%d", c.Usecs)
+	}
+	if c.Frames != 0 {
+		fmt.Fprintf(&b, ",frames=%d", c.Frames)
+	}
+	if c.MinUsecs != 0 {
+		fmt.Fprintf(&b, ",min=%d", c.MinUsecs)
+	}
+	if c.MaxUsecs != 0 {
+		fmt.Fprintf(&b, ",max=%d", c.MaxUsecs)
+	}
+	return b.String()
+}
+
+// ParseCoalesce resolves a coalescing spec: "" for legacy,
+// "@file.json" for a JSON CoalesceConfig, or an inline
+// "mode,key=value,..." like fault and workload specs, e.g.
+//
+//	timer,usecs=100
+//	frames,frames=16,usecs=200
+//	adaptive,min=5,max=250,frames=8
+//
+// Defaults are applied and the result validated; a nil return with nil
+// error means the legacy throttle.
+func ParseCoalesce(spec string) (*CoalesceConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var c CoalesceConfig
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("coalesce: %w", err)
+		}
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("coalesce: %s: %w", spec[1:], err)
+		}
+	} else {
+		fields := strings.Split(spec, ",")
+		c.Mode = strings.TrimSpace(fields[0])
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			kv := strings.SplitN(f, "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("coalesce: %q is not key=value", f)
+			}
+			key := strings.TrimSpace(kv[0])
+			val, err := strconv.ParseUint(strings.TrimSpace(kv[1]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("coalesce: %s: %w", key, err)
+			}
+			switch key {
+			case "usecs":
+				c.Usecs = val
+			case "frames":
+				c.Frames = int(val)
+			case "min", "min_usecs":
+				c.MinUsecs = val
+			case "max", "max_usecs":
+				c.MaxUsecs = val
+			default:
+				return nil, fmt.Errorf("coalesce: unknown key %q (usecs|frames|min|max)", key)
+			}
+		}
+	}
+	c.ApplyDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Legacy() {
+		c.Mode = CoalesceLegacy
+		return &c, nil
+	}
+	return &c, nil
+}

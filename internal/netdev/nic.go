@@ -36,6 +36,9 @@ type NICConfig struct {
 	// sustained load runs nearly interrupt-free. The paper's 2.4 driver
 	// interrupts per packet; this is the modern comparison point.
 	NAPI bool
+	// Coalesce selects the interrupt-coalescing model (coalesce.go).
+	// The zero value is the legacy CoalesceCycles throttle above.
+	Coalesce CoalesceConfig
 	// QueueVectors enables receive-side scaling — the paper's §8 future
 	// work ("adapters that ... extract flow information ... and direct
 	// connections and interrupts, dynamically, to a specific
@@ -137,6 +140,12 @@ type stalledFill struct {
 	f WireFrame
 }
 
+// noIRQ marks a queue that has never interrupted. Cycle 0 is a valid
+// interrupt time (a frame can complete DMA on the first cycle of a
+// run), so the sentinel must be out of band, not zero. sim.Time is
+// unsigned; the all-ones value is unreachable as a simulated cycle.
+const noIRQ = ^sim.Time(0)
+
 // rxQueue is one RSS queue: its ring, interrupt vector and per-queue
 // interrupt state.
 type rxQueue struct {
@@ -150,6 +159,15 @@ type rxQueue struct {
 	// masked suppresses interrupt generation while the NAPI poll owns
 	// the queue.
 	masked bool
+
+	// Coalescing state (coalesce.go): whether a deferred raise is
+	// armed, a generation token so superseded deferral events die at
+	// fire time, events accumulated toward the frames threshold inside
+	// the open window, and the adaptive mode's current window width.
+	deferArmed     bool
+	deferSeq       uint64
+	coalesceEvents int
+	windowCycles   uint64
 
 	// Per-queue stats.
 	rxFrames uint64
@@ -179,9 +197,13 @@ func newNIC(d *Driver, id int, cfg NICConfig) *NIC {
 		q := &rxQueue{
 			index:   qi,
 			vec:     vec,
+			lastIRQ: noIRQ,
 			procISR: k.NewProc(name, perf.BinDriver, 768),
 			ring: newRxRing(cfg.RxRing,
 				k.Space.AllocPage(cfg.RxRing*descBytes, fmt.Sprintf("nic%d_q%d_rxdesc", id, qi))),
+		}
+		if cfg.Coalesce.Mode == CoalesceAdaptive {
+			q.windowCycles = n.usecsToCycles(cfg.Coalesce.MinUsecs)
 		}
 		n.queues = append(n.queues, q)
 	}
@@ -242,7 +264,19 @@ func (n *NIC) SetWireFault(wf WireFault) { n.wireFault = wf }
 // SetLinkUp raises or drops the link carrier. While the link is down
 // every frame entering the wire (both directions) is lost; frames
 // already propagating were on the wire before the cut and still arrive.
-func (n *NIC) SetLinkUp(up bool) { n.linkDown = !up }
+// Coming back up re-kicks interrupt generation for any queue holding
+// frames whose deferred raise was suppressed during the outage.
+func (n *NIC) SetLinkUp(up bool) {
+	wasDown := n.linkDown
+	n.linkDown = !up
+	if up && wasDown {
+		for _, q := range n.queues {
+			if !q.irqPending && q.ring.pendingClean() > 0 {
+				n.maybeRaiseIRQ(q)
+			}
+		}
+	}
+}
 
 // LinkUp reports the carrier state.
 func (n *NIC) LinkUp() bool { return !n.linkDown }
@@ -267,9 +301,12 @@ func (n *NIC) SetDMAStalled(stalled bool) {
 // DMAStalled reports whether the receive DMA engine is frozen.
 func (n *NIC) DMAStalled() bool { return n.dmaStalled }
 
-// SetCoalesce changes the interrupt-throttle window at runtime
+// SetCoalesce changes the legacy interrupt-throttle window at runtime
 // (ethtool-style tuning).
 func (n *NIC) SetCoalesce(cycles uint64) { n.cfg.CoalesceCycles = cycles }
+
+// Coalesce reports the device's coalescing model.
+func (n *NIC) Coalesce() CoalesceConfig { return n.cfg.Coalesce }
 
 // PrimeRx posts initial receive buffers into the ring(s) at machine
 // setup (outside measured time), striped across RSS queues. The stack
@@ -496,25 +533,129 @@ func (n *NIC) dmaFill(q *rxQueue, f WireFrame) {
 // to pace their sends to link rate.
 func (n *NIC) RxBusyUntil() sim.Time { return n.rxBusyUntil }
 
-// maybeRaiseIRQ raises a queue's interrupt, honouring the coalescing
-// window. One interrupt serves all of that queue's pending work.
+// usecsToCycles converts a microsecond coalescing parameter to engine
+// cycles at the machine's clock.
+func (n *NIC) usecsToCycles(usecs uint64) uint64 {
+	clock := n.d.k.CPUs[0].Model.Config().ClockHz
+	return usecs * clock / 1_000_000
+}
+
+// maybeRaiseIRQ raises a queue's interrupt, honouring the configured
+// coalescing model. One interrupt serves all of that queue's pending
+// work.
 func (n *NIC) maybeRaiseIRQ(q *rxQueue) {
-	if q.irqPending || q.masked {
+	if q.masked {
 		return
 	}
-	eng := n.eng()
+	if q.irqPending {
+		// More work arrived inside an open coalescing window.
+		n.coalesceEvent(q)
+		return
+	}
 	q.irqPending = true
-	gap := sim.Time(n.cfg.CoalesceCycles)
-	if q.lastIRQ == 0 || eng.Now() >= q.lastIRQ+gap {
-		n.raiseNow(q)
+	now := n.eng().Now()
+	co := n.cfg.Coalesce
+	switch co.Mode {
+	case CoalesceTimer:
+		n.armDeferred(q, now+sim.Time(n.usecsToCycles(co.Usecs)))
+	case CoalesceFrames:
+		q.coalesceEvents = 1
+		if co.Frames <= 1 {
+			n.raiseNow(q)
+			return
+		}
+		n.armDeferred(q, now+sim.Time(n.usecsToCycles(co.Usecs)))
+	case CoalesceAdaptive:
+		q.coalesceEvents = 1
+		n.armDeferred(q, now+sim.Time(q.windowCycles))
+	default:
+		// Legacy throttle: raise immediately unless the previous
+		// interrupt was under CoalesceCycles ago.
+		gap := sim.Time(n.cfg.CoalesceCycles)
+		if q.lastIRQ == noIRQ || now >= q.lastIRQ+gap {
+			n.raiseNow(q)
+			return
+		}
+		n.armDeferred(q, q.lastIRQ+gap)
+	}
+}
+
+// coalesceEvent accounts one more unit of work (a received frame or a
+// TX completion) arriving while an interrupt is already pending. In
+// frames mode enough of them closes the window early.
+func (n *NIC) coalesceEvent(q *rxQueue) {
+	if !q.deferArmed {
 		return
 	}
-	n.d.k.Trace.NICCoalesce(eng.Now(), n.id, q.index, uint64(q.lastIRQ+gap-eng.Now()))
-	eng.At(q.lastIRQ+gap, func() { n.raiseNow(q) })
+	switch n.cfg.Coalesce.Mode {
+	case CoalesceFrames:
+		q.coalesceEvents++
+		if q.coalesceEvents >= n.cfg.Coalesce.Frames {
+			n.raiseNow(q)
+		}
+	case CoalesceAdaptive:
+		q.coalesceEvents++
+	}
+}
+
+// armDeferred schedules the pending interrupt for a future cycle. The
+// generation token kills the event if the raise happens some other way
+// (frames threshold, link re-kick) before the timer expires.
+func (n *NIC) armDeferred(q *rxQueue, at sim.Time) {
+	eng := n.eng()
+	n.d.k.Trace.NICCoalesce(eng.Now(), n.id, q.index, uint64(at-eng.Now()))
+	q.deferArmed = true
+	q.deferSeq++
+	seq := q.deferSeq
+	eng.At(at, func() { n.fireDeferred(q, seq) })
+}
+
+// fireDeferred is the deferred raise. Conditions are re-checked at fire
+// time: a NAPI poll may have masked the queue in the interim (it owns
+// the pending work — raising anyway would deliver a spurious interrupt),
+// or the link may have dropped. In either case the pending latch is
+// cleared so the next frame re-arms; rxDrained and SetLinkUp restart
+// service for work already in the rings.
+func (n *NIC) fireDeferred(q *rxQueue, seq uint64) {
+	if seq != q.deferSeq || !q.irqPending || !q.deferArmed {
+		return
+	}
+	if q.masked || n.linkDown {
+		q.deferArmed = false
+		q.irqPending = false
+		q.coalesceEvents = 0
+		return
+	}
+	if n.cfg.Coalesce.Mode == CoalesceAdaptive {
+		n.adaptWindow(q)
+	}
+	n.raiseNow(q)
+}
+
+// adaptWindow is adaptive-rx moderation: a window that filled with a
+// burst doubles (up to MaxUsecs) so the next burst coalesces harder; a
+// window that closed nearly empty halves back toward MinUsecs.
+func (n *NIC) adaptWindow(q *rxQueue) {
+	co := n.cfg.Coalesce
+	min, max := n.usecsToCycles(co.MinUsecs), n.usecsToCycles(co.MaxUsecs)
+	if q.coalesceEvents >= co.Frames {
+		q.windowCycles *= 2
+		if q.windowCycles > max {
+			q.windowCycles = max
+		}
+	} else if q.coalesceEvents <= 1 {
+		q.windowCycles /= 2
+		if q.windowCycles < min {
+			q.windowCycles = min
+		}
+	}
 }
 
 func (n *NIC) raiseNow(q *rxQueue) {
 	q.lastIRQ = n.eng().Now()
+	q.deferArmed = false
+	q.deferSeq++ // a superseded deferral event must not double-raise
+	q.coalesceEvents = 0
 	n.IRQsRaised++
 	q.irqs++
 	n.d.k.Trace.NICIRQ(q.lastIRQ, n.id, q.index, int(q.vec))

@@ -61,6 +61,11 @@ type Options struct {
 	// bulk default. Malformed values surface on the first request as a
 	// 400, same as a client-sent spec.
 	DefaultWorkload string
+	// DefaultCoalesce is a coalescing spec (core.ParseCoalesce syntax)
+	// applied to requests that leave "coalesce" empty; "" keeps the
+	// legacy throttle. Malformed values surface as 400s, like
+	// DefaultWorkload.
+	DefaultCoalesce string
 }
 
 // Server is the HTTP face of the simulator.
@@ -71,9 +76,10 @@ type Server struct {
 	sem     chan struct{}
 	timeout time.Duration
 	version string
-	// defaultWorkload fills RunRequest.Workload when a request leaves
-	// it empty.
+	// defaultWorkload/defaultCoalesce fill RunRequest.Workload and
+	// RunRequest.Coalesce when a request leaves them empty.
 	defaultWorkload string
+	defaultCoalesce string
 	metrics         *metrics
 	engines         engineAgg
 	mux             *http.ServeMux
@@ -142,6 +148,7 @@ func New(opts Options) *Server {
 		timeout:         opts.Timeout,
 		version:         opts.Version,
 		defaultWorkload: opts.DefaultWorkload,
+		defaultCoalesce: opts.DefaultCoalesce,
 		metrics:         newMetrics(),
 		mux:             http.NewServeMux(),
 	}
@@ -349,6 +356,11 @@ type RunRequest struct {
 	// Empty means the paper's bulk ttcp workload (or the server's
 	// configured default).
 	Workload string `json:"workload"`
+
+	// Coalesce is an inline interrupt-coalescing spec (core.ParseCoalesce
+	// syntax, e.g. "timer,usecs=100" or "adaptive,min=5,max=250").
+	// Empty means the legacy fixed throttle.
+	Coalesce string `json:"coalesce"`
 }
 
 // config resolves the request into a validated core.Config.
@@ -440,6 +452,13 @@ func (rq RunRequest) config() (core.Config, error) {
 		}
 		cfg.Workload = spec
 	}
+	if rq.Coalesce != "" {
+		co, err := core.ParseCoalesce(rq.Coalesce)
+		if err != nil {
+			return core.Config{}, &fieldError{field: "coalesce", err: err}
+		}
+		cfg.Coalesce = co
+	}
 	return cfg, nil
 }
 
@@ -462,6 +481,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if rq.Workload == "" {
 		rq.Workload = s.defaultWorkload
+	}
+	if rq.Coalesce == "" {
+		rq.Coalesce = s.defaultCoalesce
 	}
 	cfg, err := rq.config()
 	if err != nil {
@@ -518,6 +540,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if rq.Workload == "" {
 		rq.Workload = s.defaultWorkload
+	}
+	if rq.Coalesce == "" {
+		rq.Coalesce = s.defaultCoalesce
 	}
 	base, err := rq.config()
 	if err != nil {

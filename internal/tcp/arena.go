@@ -94,6 +94,12 @@ type sockStats struct {
 	backlogDeferrals        uint64
 	retransmits             uint64
 	outOfOrderDrops         uint64
+	// dupAcksOut counts the immediate duplicate ACKs the go-back-N
+	// receiver answered out-of-order segments with; fastRetrans counts
+	// go-back episodes triggered by a dup-ACK train (RTO-driven
+	// go-backs count only in retransmits).
+	dupAcksOut  uint64
+	fastRetrans uint64
 }
 
 func (a *sockStats) add(b *sockStats) {
@@ -106,6 +112,8 @@ func (a *sockStats) add(b *sockStats) {
 	a.backlogDeferrals += b.backlogDeferrals
 	a.retransmits += b.retransmits
 	a.outOfOrderDrops += b.outOfOrderDrops
+	a.dupAcksOut += b.dupAcksOut
+	a.fastRetrans += b.fastRetrans
 }
 
 // Arena growth granularity. State is stored in fixed-capacity chunks so
@@ -276,7 +284,10 @@ func (st *Stack) Release(env *kern.Env, s *Socket) {
 	st.released.add(a.statAt(h))
 	*a.statAt(h) = sockStats{}
 	if c := st.lookupClient(ctl.conn); c != nil {
-		st.releasedClientRexmits += c.Retransmits
+		st.releasedClient.retransmits += c.Retransmits
+		st.releasedClient.outOfOrder += c.OutOfOrder
+		st.releasedClient.dupAcksSent += c.DupAcksSent
+		st.releasedClient.fastRetrans += c.FastRetrans
 		st.connClient[ctl.conn] = nil
 	}
 	for _, skb := range retrans {
@@ -301,29 +312,87 @@ func (st *Stack) Release(env *kern.Env, s *Socket) {
 func (st *Stack) Slots() int     { return st.arena.n }
 func (st *Stack) FreeSlots() int { return len(st.arena.free) }
 
-// SocketRetransmits totals TCP retransmissions across every SUT socket
-// the stack has ever hosted: live slots plus released (churned)
+// clientStats aggregates far-end client counters of released
+// connections (the client mirror of the released sockStats).
+type clientStats struct {
+	retransmits uint64
+	outOfOrder  uint64
+	dupAcksSent uint64
+	fastRetrans uint64
+}
+
+// sumSock totals one sockStats counter across every SUT socket the
+// stack has ever hosted: live slots plus released (churned)
 // connections.
-func (st *Stack) SocketRetransmits() uint64 {
-	total := st.released.retransmits
+func (st *Stack) sumSock(f func(*sockStats) uint64) uint64 {
+	total := f(&st.released)
 	for _, chunk := range st.arena.stats {
 		for i := range chunk {
-			total += chunk[i].retransmits
+			total += f(&chunk[i])
 		}
 	}
 	return total
 }
 
-// ClientRetransmits totals far-end client retransmissions, live and
-// released.
-func (st *Stack) ClientRetransmits() uint64 {
-	total := st.releasedClientRexmits
+// sumClient totals one client counter across live clients plus the
+// given released aggregate.
+func (st *Stack) sumClient(released uint64, f func(*Client) uint64) uint64 {
+	total := released
 	for _, c := range st.connClient {
 		if c != nil {
-			total += c.Retransmits
+			total += f(c)
 		}
 	}
 	return total
+}
+
+// SocketRetransmits totals TCP retransmissions across every SUT socket
+// the stack has ever hosted: live slots plus released (churned)
+// connections.
+func (st *Stack) SocketRetransmits() uint64 {
+	return st.sumSock(func(s *sockStats) uint64 { return s.retransmits })
+}
+
+// SocketOutOfOrderDrops totals segments the SUT's go-back-N receivers
+// refused (duplicates and gaps), live and released.
+func (st *Stack) SocketOutOfOrderDrops() uint64 {
+	return st.sumSock(func(s *sockStats) uint64 { return s.outOfOrderDrops })
+}
+
+// SocketDupAcks totals the immediate duplicate ACKs SUT receivers
+// answered out-of-order segments with, live and released.
+func (st *Stack) SocketDupAcks() uint64 {
+	return st.sumSock(func(s *sockStats) uint64 { return s.dupAcksOut })
+}
+
+// SocketFastRetransmits totals dup-ACK-triggered go-back episodes on
+// SUT senders (RTO go-backs excluded), live and released.
+func (st *Stack) SocketFastRetransmits() uint64 {
+	return st.sumSock(func(s *sockStats) uint64 { return s.fastRetrans })
+}
+
+// ClientRetransmits totals far-end client retransmissions, live and
+// released.
+func (st *Stack) ClientRetransmits() uint64 {
+	return st.sumClient(st.releasedClient.retransmits, func(c *Client) uint64 { return c.Retransmits })
+}
+
+// ClientOutOfOrder totals segments the far-end go-back-N sinks refused,
+// live and released.
+func (st *Stack) ClientOutOfOrder() uint64 {
+	return st.sumClient(st.releasedClient.outOfOrder, func(c *Client) uint64 { return c.OutOfOrder })
+}
+
+// ClientDupAcks totals duplicate ACKs the far-end sinks sent, live and
+// released.
+func (st *Stack) ClientDupAcks() uint64 {
+	return st.sumClient(st.releasedClient.dupAcksSent, func(c *Client) uint64 { return c.DupAcksSent })
+}
+
+// ClientFastRetransmits totals dup-ACK-triggered go-back episodes on
+// client sources, live and released.
+func (st *Stack) ClientFastRetransmits() uint64 {
+	return st.sumClient(st.releasedClient.fastRetrans, func(c *Client) uint64 { return c.FastRetrans })
 }
 
 // AppBytesInTotal sums application bytes delivered to SUT readers over

@@ -71,6 +71,12 @@ type Client struct {
 	SegsSent      uint64
 	Retransmits   uint64
 	OutOfOrder    uint64
+	// DupAcksSent counts the immediate duplicate ACKs the go-back-N
+	// sink answered out-of-order segments with; FastRetrans counts the
+	// go-back episodes triggered by a dup-ACK train from the SUT (the
+	// watchdog's timeouts count only in Retransmits).
+	DupAcksSent uint64
+	FastRetrans uint64
 }
 
 func newClient(st *Stack, conn int, nic *netdev.NIC) *Client {
@@ -90,14 +96,28 @@ func newClient(st *Stack, conn int, nic *netdev.NIC) *Client {
 }
 
 // ToPeer implements netdev.Peer: a frame from the SUT reaches the client
-// after its (small, fixed) processing delay.
+// after its (small, fixed) processing delay. Delivery re-checks live:
+// the stack can Release the connection while the frame is in flight,
+// and a dead client must not answer on a conn id the arena may have
+// rebound (see live).
 func (c *Client) ToPeer(f netdev.WireFrame) {
 	c.pending++
 	c.st.K.Eng.After(c.st.Cfg.ClientDelayCycles, func() {
 		c.pending--
+		if !c.live() {
+			return
+		}
 		c.handle(f)
 	})
 }
+
+// live reports whether this client is still the bound far end of its
+// connection. Release unbinds churned connections; any timer or
+// delivery event armed before the teardown (delayed ACK, watchdog,
+// in-flight ToPeer frames) must die silently when it fires after —
+// on the flyweight arena the conn id may already belong to a new
+// connection, and a stale ACK would land on it.
+func (c *Client) live() bool { return c.st.lookupClient(c.conn) == c }
 
 func (c *Client) handle(f netdev.WireFrame) {
 	// Connection management: the ideal client accepts any open and
@@ -135,6 +155,7 @@ func (c *Client) handle(f netdev.WireFrame) {
 			// Go-back-N sink: drop duplicates and gaps, answer with an
 			// immediate duplicate ACK so the SUT retransmits.
 			c.OutOfOrder++
+			c.DupAcksSent++
 			c.sendAck()
 			return
 		}
@@ -150,6 +171,9 @@ func (c *Client) handle(f netdev.WireFrame) {
 			c.delackArmed = true
 			c.st.K.Eng.After(400_000, func() { // 200 µs delayed ACK
 				c.delackArmed = false
+				if !c.live() {
+					return
+				}
 				if c.segsSinceAck > 0 {
 					c.sendAck()
 				}
@@ -179,6 +203,7 @@ func (c *Client) handle(f netdev.WireFrame) {
 				c.dupAcks = 0
 				if c.sndUna >= c.recoverSeq {
 					c.Retransmits++
+					c.FastRetrans++
 					c.recoverSeq = c.sndNxt
 					c.sndNxt = c.sndUna
 				}
@@ -204,6 +229,9 @@ func (c *Client) armWatchdog() {
 	mark := c.sndUna
 	c.st.K.Eng.After(400_000_000, func() {
 		c.watchArmed = false
+		if !c.live() {
+			return
+		}
 		if c.sndNxt > c.sndUna && c.sndUna == mark {
 			c.Retransmits++
 			c.recoverSeq = c.sndNxt

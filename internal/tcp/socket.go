@@ -383,6 +383,7 @@ func (s *Socket) rcvData(env *kern.Env, pkt netdev.RxPacket) {
 		// with an immediate (duplicate) ACK re-advertising rcv_nxt so the
 		// sender retransmits.
 		s.stat().outOfOrderDrops++
+		s.stat().dupAcksOut++
 		st.Pool.FreeSKB(env, skb)
 		s.sendAck(env)
 		return
@@ -442,6 +443,7 @@ func (s *Socket) rcvAck(env *kern.Env, f netdev.WireFrame) {
 		tx.dupAcks++
 		if tx.dupAcks >= 3 && tx.sndUna >= tx.recoverSeq {
 			tx.dupAcks = 0
+			s.stat().fastRetrans++
 			s.goBackN(env)
 		}
 	}

@@ -90,9 +90,9 @@ type Stack struct {
 	connClient []*Client
 
 	// released aggregates per-connection counters of churned (Released)
-	// connections; releasedClientRexmits their clients' retransmissions.
-	released              sockStats
-	releasedClientRexmits uint64
+	// connections; releasedClient their far-end clients'.
+	released       sockStats
+	releasedClient clientStats
 
 	// listener is the stack's accept point (Listen); nil until a server
 	// workload listens. OrphanDrops counts packets that arrived for a

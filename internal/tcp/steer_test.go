@@ -1,0 +1,121 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/apic"
+	"repro/internal/cpu"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/netdev"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// runSteered streams client data into the SUT over a two-queue NIC. The
+// flow starts on queue 1; if steerAt is nonzero the indirection table
+// re-programs it to queue 0 mid-stream (what flow director does when
+// the serving process migrates). Frames already DMA'd into queue 1 —
+// held there by that queue's coalescing window — are then overtaken by
+// new frames interrupting from queue 0: the reordering mechanism.
+// (Queue 0 additionally services TX completions, so it is never parked
+// for long; the flow must *leave* queue 1 for the parked-frame window
+// to open.)
+func runSteered(t *testing.T, co string, legacyGap uint64, steerAt sim.Time) (*Stack, *Socket, *Client) {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	tab := perf.NewSymbolTable()
+	ctr := perf.NewCounters(tab, 2)
+	k := kern.New(kern.Config{
+		Engine: eng, Space: mem.NewSpace(), Table: tab, Ctr: ctr,
+		NumCPUs: 2, CPU: cpu.DefaultConfig(), Tune: kern.DefaultTuning(),
+	})
+	t.Cleanup(k.Shutdown)
+	st := New(k, DefaultConfig())
+	ncfg := netdev.DefaultNICConfig(0x19)
+	ncfg.QueueVectors = []apic.Vector{0x19, 0x23}
+	if legacyGap != 0 {
+		ncfg.CoalesceCycles = legacyGap
+	}
+	if co != "" {
+		cc, err := netdev.ParseCoalesce(co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncfg.Coalesce = *cc
+	}
+	nic := st.AddNICWithConfig(ncfg)
+	s, c := st.NewConn(1, nic)
+	nic.SteerFlow(1, 1)
+
+	buf := k.Space.AllocPage(64<<10, "rbuf")
+	k.Spawn("reader", 0, 0, func(e *kern.Env) {
+		for {
+			s.Read(e, buf, 16<<10)
+		}
+	})
+	k.StartTicks()
+	eng.At(1000, c.StartSource)
+	if steerAt != 0 {
+		eng.At(steerAt, func() { nic.SteerFlow(1, 0) })
+	}
+	eng.Run(60_000_000)
+	return st, s, c
+}
+
+// Static steering never reorders, even under the same fixed coalescing
+// window that makes the re-steer pathological: the control every
+// re-steer run is judged against.
+func TestStaticSteeringDeliversInOrder(t *testing.T) {
+	st, s, _ := runSteered(t, "timer,usecs=100", 0, 0)
+	if got := s.OutOfOrderDrops(); got != 0 {
+		t.Fatalf("static flow saw %d out-of-order drops", got)
+	}
+	if got := st.SocketDupAcks(); got != 0 {
+		t.Fatalf("static flow sent %d dup ACKs", got)
+	}
+}
+
+// Re-programming the flow's queue mid-stream under a fixed coalescing
+// window reorders: the tail of the in-flight burst is parked on queue 1
+// behind its rx-usecs timer, while queue 0 — kept hot by TX-completion
+// interrupts from the SUT's own ACKs — services the post-steer frames
+// immediately. The go-back-N receiver drops the overtakers, dup-ACKs,
+// and the client fast-retransmits; the stream recovers.
+func TestMidStreamResteerReordersAndRecovers(t *testing.T) {
+	st, s, c := runSteered(t, "timer,usecs=100", 0, 100_000)
+	if got := s.OutOfOrderDrops(); got == 0 {
+		t.Fatal("mid-stream re-steer produced no out-of-order drops")
+	}
+	if got := st.SocketDupAcks(); got == 0 {
+		t.Fatal("out-of-order segments drew no duplicate ACKs")
+	}
+	if c.Retransmits == 0 {
+		t.Fatal("client never went back despite drops")
+	}
+	// The stream must recover: bytes keep flowing after the episode.
+	if got := st.AppBytesInTotal(); got < 256<<10 {
+		t.Fatalf("stream wedged after reorder: only %d app bytes delivered", got)
+	}
+}
+
+// The adaptive cure (Fermilab): the window starts at its floor and only
+// widens under a sustained burst, so a sparsely-arriving tail on the old
+// queue drains almost immediately instead of sitting out a fixed
+// rx-usecs timer — the post-steer frames on the new queue never overtake
+// it. Same re-steer, zero drops, and full throughput.
+func TestAdaptiveCoalescingCuresResteerReordering(t *testing.T) {
+	st, s, c := runSteered(t, "adaptive", 0, 100_000)
+	if got := s.OutOfOrderDrops(); got != 0 {
+		t.Fatalf("adaptive coalescing: re-steer still produced %d out-of-order drops", got)
+	}
+	if got := st.SocketDupAcks(); got != 0 {
+		t.Fatalf("adaptive coalescing: %d dup ACKs", got)
+	}
+	if c.Retransmits != 0 {
+		t.Fatalf("adaptive coalescing: client retransmitted %d times", c.Retransmits)
+	}
+	if got := st.AppBytesInTotal(); got < 2<<20 {
+		t.Fatalf("adaptive coalescing throttled the stream to %d app bytes", got)
+	}
+}

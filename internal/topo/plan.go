@@ -35,6 +35,12 @@ type Plan struct {
 	// RotateIRQs selects the 2.6-style rotating delivery policy (§7)
 	// instead of static lowest-in-mask routing.
 	RotateIRQs bool
+	// FlowDirector asks the machine to re-program each flow's receive
+	// queue to follow its serving process's CPU on every migration
+	// (dynamic steering over the RSS baseline above). The in-flight
+	// frames left on the previous queue are the reordering mechanism
+	// the Fermilab papers describe.
+	FlowDirector bool
 }
 
 // NewPlan builds the neutral skeleton for a Topology: vectors allocated

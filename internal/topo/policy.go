@@ -206,9 +206,33 @@ func (RSS) Place(t Topology) (*Plan, error) {
 	return p, nil
 }
 
+// FlowDirector is Intel's dynamic sequel to RSS (the Fermilab papers in
+// PAPERS.md): the static placement is exactly RSS's — queue vectors
+// round-robin across CPUs, flows striped over queues as the initial
+// indirection table — but the plan additionally asks the machine to
+// re-program each flow's queue to follow its serving process's current
+// CPU on every migration. Frames already queued (or coalesce-deferred)
+// on the old queue are then serviced concurrently with new frames on
+// the new queue: the packet-reordering pathology.
+type FlowDirector struct{}
+
+// Name implements PlacementPolicy.
+func (FlowDirector) Name() string { return "flowdirector" }
+
+// Place implements PlacementPolicy.
+func (FlowDirector) Place(t Topology) (*Plan, error) {
+	p, err := RSS{}.Place(t)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = "flowdirector"
+	p.FlowDirector = true
+	return p, nil
+}
+
 // Policies lists every built-in placement policy.
 func Policies() []PlacementPolicy {
-	return []PlacementPolicy{None{}, Process{}, IRQ{}, Full{}, Partition{}, Rotate{}, RSS{}}
+	return []PlacementPolicy{None{}, Process{}, IRQ{}, Full{}, Partition{}, Rotate{}, RSS{}, FlowDirector{}}
 }
 
 // PolicyByName resolves a built-in policy from its Name.

@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -355,5 +356,37 @@ func TestPlanString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("plan string %q missing %q", s, want)
 		}
+	}
+}
+
+// FlowDirector is RSS's static placement plus the dynamic-steering
+// flag: every static field matches the RSS plan exactly (the reordering
+// comparison is apples-to-apples), only FlowDirector differs.
+func TestFlowDirectorMatchesRSSStatically(t *testing.T) {
+	topo := Uniform(2, 2, 4)
+	topo.Conns = 8
+	rss, err := RSS{}.Place(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := FlowDirector{}.Place(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !fd.FlowDirector {
+		t.Error("flowdirector plan does not set FlowDirector")
+	}
+	if rss.FlowDirector {
+		t.Error("rss plan sets FlowDirector")
+	}
+	if fd.Policy != "flowdirector" {
+		t.Errorf("policy name %q", fd.Policy)
+	}
+	fd.Policy, fd.FlowDirector = rss.Policy, rss.FlowDirector
+	if !reflect.DeepEqual(rss, fd) {
+		t.Errorf("flowdirector static placement diverges from rss:\nrss: %+v\nfd:  %+v", rss, fd)
 	}
 }

@@ -54,6 +54,7 @@ func (w *Bulk) Launch(m *Machine) {
 			RecordLatency: m.RecordLatency,
 		})
 		m.Procs = append(m.Procs, p)
+		m.BindFlow(i, p.Task)
 	}
 	for i, c := range m.Clients {
 		if w.dirOf(m, i) == ttcp.RX {

@@ -94,11 +94,13 @@ func (w *OpenLoop) Launch(m *Machine) {
 				for {
 					s := w.lst.Accept(env)
 					conn := s.Conn
+					m.BindFlow(conn, env.Task())
 					if req := int(w.reqOf[conn]); req > 0 {
 						s.Read(env, reqBuf, req)
 					}
 					s.Write(env, rspBuf, int(w.rspOf[conn]))
 					s.WaitClose(env)
+					m.UnbindFlow(conn, env.Task())
 					m.St.Release(env, s)
 				}
 			})

@@ -46,13 +46,14 @@ func (w *RPC) Launch(m *Machine) {
 		rspBuf := m.K.Space.AllocPage(rspBufBytes, fmt.Sprintf("rspbuf%d", i))
 
 		// The worker process: read a request, serve the next template.
-		m.K.Spawn(fmt.Sprintf("httpd%d", i), m.Plan.StartCPUs[i], m.Plan.ProcMasks[i],
+		srv := m.K.Spawn(fmt.Sprintf("httpd%d", i), m.Plan.StartCPUs[i], m.Plan.ProcMasks[i],
 			func(env *kern.Env) {
 				for n := 0; ; n++ {
 					sock.Read(env, reqBuf, req)
 					sock.Write(env, rspBuf, mix[(i+n)%len(mix)])
 				}
 			})
+		m.BindFlow(i, srv)
 
 		// The client: issue the next request once the full response for
 		// the previous one has arrived (closed-loop, like a browser).

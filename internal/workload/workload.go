@@ -52,6 +52,38 @@ type Machine struct {
 	// the assembler copies it back so Machine.Procs and the invariant
 	// checker's quiesce protocol keep working.
 	Procs []*ttcp.Proc
+
+	// Steer, when non-nil, is the machine's flow director: workloads
+	// report which task serves which connection (BindFlow/UnbindFlow)
+	// so the device's receive queue can follow the process across
+	// migrations. Nil under every static steering policy — the hooks
+	// are free no-ops then, and launch trajectories are unchanged.
+	Steer FlowSteerer
+}
+
+// FlowSteerer re-programs flow steering as serving tasks come, go and
+// migrate. core's flow director implements it; workload only calls it.
+type FlowSteerer interface {
+	// Bind declares that task t now serves connection conn (accept, or
+	// process launch for pre-established connections).
+	Bind(conn int, t *kern.Task)
+	// Unbind declares that t no longer serves conn (release/teardown).
+	Unbind(conn int, t *kern.Task)
+}
+
+// BindFlow reports a task taking ownership of a connection to the flow
+// director, if the machine has one.
+func (m *Machine) BindFlow(conn int, t *kern.Task) {
+	if m.Steer != nil && t != nil {
+		m.Steer.Bind(conn, t)
+	}
+}
+
+// UnbindFlow reports a task dropping a connection.
+func (m *Machine) UnbindFlow(conn int, t *kern.Task) {
+	if m.Steer != nil && t != nil {
+		m.Steer.Unbind(conn, t)
+	}
 }
 
 // NumCPUs reports the machine's processor count.
