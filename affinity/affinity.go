@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"repro/internal/cache"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/netdev"
@@ -310,6 +311,21 @@ type ServerOptions = serve.Options
 
 // NewServer builds the HTTP handler; mount it on any http.Server.
 func NewServer(opts ServerOptions) *Server { return serve.New(opts) }
+
+// Coordinator fronts a fleet of Servers: it accepts the same sweep
+// requests as one server, shards the expanded cells across registered
+// workers weighted by their capacity, retries and hedges stragglers,
+// deduplicates by Fingerprint, and merges results into an NDJSON
+// stream byte-identical to a single server's. See NewCoordinator.
+type Coordinator = coord.Coordinator
+
+// CoordinatorOptions configures NewCoordinator; the zero value serves
+// with sensible heartbeat, retry, hedging and memo defaults.
+type CoordinatorOptions = coord.Options
+
+// NewCoordinator builds the fleet coordinator handler; mount it on any
+// http.Server and Close it when done.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator { return coord.New(opts) }
 
 // --- timeline tracing ---
 

@@ -19,6 +19,12 @@
 //	-coalesce spec       default coalescing model for requests that omit
 //	                     one (core.ParseCoalesce syntax, e.g.
 //	                     "adaptive,min=5,max=250"; empty = legacy throttle)
+//	-coord url           affinity-coord base URL to join as a fleet
+//	                     worker (empty = standalone)
+//	-advertise url       base URL the coordinator should dial back
+//	                     (default derives http://127.0.0.1:port from
+//	                     -addr)
+//	-announce-interval d re-registration cadence (default 30s)
 //	-version             print the build version and exit
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (NDJSON stream), GET
@@ -35,14 +41,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/cache"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -57,6 +66,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	workloadFlag := flag.String("workload", "", `default workload spec for requests that omit one ("kind,k=v,..." or @spec.json; empty = bulk ttcp)`)
 	coalesceFlag := flag.String("coalesce", "", `default coalescing spec for requests that omit one ("mode,k=v,..." or @config.json; empty = legacy throttle)`)
+	coordURL := flag.String("coord", "", "affinity-coord base URL to join as a fleet worker (empty = standalone)")
+	advertise := flag.String("advertise", "", "base URL the coordinator should dial back (default derives from -addr)")
+	announceEvery := flag.Duration("announce-interval", 30*time.Second, "re-registration cadence when -coord is set")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -97,6 +109,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *coordURL != "" {
+		self := *advertise
+		if self == "" {
+			self = deriveAdvertise(*addr)
+		}
+		if self == "" {
+			fmt.Fprintf(os.Stderr, "affinity-serve: cannot derive -advertise from -addr %q; pass -advertise\n", *addr)
+			os.Exit(2)
+		}
+		go coord.AnnounceLoop(ctx, strings.TrimRight(*coordURL, "/"), coord.RegisterRequest{
+			URL:         strings.TrimRight(self, "/"),
+			Version:     buildinfo.Version(),
+			Concurrency: srv.Limit(),
+		}, *announceEvery, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "affinity-serve: "+format+"\n", args...)
+		})
+	}
+
 	fmt.Fprintf(os.Stderr, "affinity-serve %s listening on %s (workers=%d, cache=%s)\n",
 		buildinfo.Version(), *addr, serveWorkers(*workers), cacheLabel(*cacheDir))
 
@@ -133,4 +163,19 @@ func cacheLabel(dir string) string {
 		return "memory"
 	}
 	return "memory+" + dir
+}
+
+// deriveAdvertise guesses the loopback base URL for a listen address
+// like ":8080" or "0.0.0.0:8080" — right for single-host fleets, which
+// is what the smoke tests and local walkthroughs run. Cross-host
+// deployments pass -advertise explicitly.
+func deriveAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

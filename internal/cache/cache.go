@@ -41,14 +41,15 @@ type Cache struct {
 	flight map[string]*flightCall
 	bytes  int64
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	coalesced  atomic.Uint64
-	diskHits   atomic.Uint64
-	evictions  atomic.Uint64
-	sims       atomic.Uint64
-	diskErrors atomic.Uint64
-	inflight   atomic.Int64
+	hits            atomic.Uint64
+	misses          atomic.Uint64
+	coalesced       atomic.Uint64
+	diskHits        atomic.Uint64
+	evictions       atomic.Uint64
+	sims            atomic.Uint64
+	diskErrors      atomic.Uint64
+	corruptDiscards atomic.Uint64
+	inflight        atomic.Int64
 }
 
 type entry struct {
@@ -206,6 +207,10 @@ type Stats struct {
 	Evictions uint64
 	// DiskErrors counts failed best-effort disk reads/writes.
 	DiskErrors uint64
+	// CorruptDiscards counts persisted entries that failed to decode
+	// (truncated gob, unreconstructable counter dump) and were unlinked
+	// so every waiter and future lookup treats the key as a clean miss.
+	CorruptDiscards uint64
 	// Inflight is the number of simulations executing right now.
 	Inflight int64
 	// Dir is the disk store root ("" = memory only).
@@ -221,18 +226,19 @@ func (c *Cache) Stats() Stats {
 	entries, bytes := c.ll.Len(), c.bytes
 	c.mu.Unlock()
 	return Stats{
-		Entries:    entries,
-		Bytes:      bytes,
-		MaxBytes:   c.maxBytes,
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Coalesced:  c.coalesced.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Sims:       c.sims.Load(),
-		Evictions:  c.evictions.Load(),
-		DiskErrors: c.diskErrors.Load(),
-		Inflight:   c.inflight.Load(),
-		Dir:        c.dir,
+		Entries:         entries,
+		Bytes:           bytes,
+		MaxBytes:        c.maxBytes,
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Coalesced:       c.coalesced.Load(),
+		DiskHits:        c.diskHits.Load(),
+		Sims:            c.sims.Load(),
+		Evictions:       c.evictions.Load(),
+		DiskErrors:      c.diskErrors.Load(),
+		CorruptDiscards: c.corruptDiscards.Load(),
+		Inflight:        c.inflight.Load(),
+		Dir:             c.dir,
 	}
 }
 

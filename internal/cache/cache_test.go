@@ -238,7 +238,7 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDiskStoreIgnoresCorruptEntries(t *testing.T) {
+func TestDiskStoreDiscardsCorruptEntries(t *testing.T) {
 	dir := t.TempDir()
 	cfg := quickCfg(1)
 	c := New(DefaultMaxBytes, dir)
@@ -251,8 +251,84 @@ func TestDiskStoreIgnoresCorruptEntries(t *testing.T) {
 		t.Fatal("corrupt disk entry should fall through to simulation")
 	}
 	st := c.Stats()
-	if st.Sims != 1 || st.DiskErrors == 0 {
-		t.Errorf("corrupt entry: want 1 sim and a recorded disk error, got %+v", st)
+	if st.Sims != 1 || st.CorruptDiscards != 1 {
+		t.Errorf("corrupt entry: want 1 sim and 1 corrupt discard, got %+v", st)
+	}
+	if st.DiskErrors != 0 {
+		t.Errorf("discarding a corrupt entry is not a disk error, got %+v", st)
+	}
+	// The leader's re-simulation must have replaced the bad bytes with a
+	// decodable entry: a fresh cache over the directory disk-hits.
+	cold := New(DefaultMaxBytes, dir)
+	if cold.Run(cfg) == nil {
+		t.Fatal("reload after discard")
+	}
+	if cst := cold.Stats(); cst.Sims != 0 || cst.DiskHits != 1 || cst.CorruptDiscards != 0 {
+		t.Errorf("replacement entry should disk-hit cleanly: %+v", cst)
+	}
+}
+
+// TestCorruptEntryUnderConcurrentReaders is the pathology the discard
+// path exists for: a truncated gob (a process crashed mid-write before
+// rename discipline existed, or the disk ate the tail) hit by many
+// readers at once. Every waiter must get a valid result, the key must
+// simulate exactly once, and the corrupt file must be unlinked — not
+// re-decoded by each new reader forever.
+func TestCorruptEntryUnderConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg(1)
+
+	// Persist a good entry, then truncate it to half its bytes.
+	seed := New(DefaultMaxBytes, dir)
+	want, err := seed.Run(cfg).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Fingerprint(cfg)
+	good, err := os.ReadFile(seed.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(seed.path(key), good[:len(good)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(DefaultMaxBytes, dir)
+	const readers = 16
+	results := make([]*core.Result, readers)
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("reader %d got nil", i)
+		}
+		got, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("reader %d: result differs from the pre-corruption simulation", i)
+		}
+	}
+	st := c.Stats()
+	if st.Sims != 1 {
+		t.Errorf("truncated entry re-simulated %d times across %d readers, want exactly 1", st.Sims, readers)
+	}
+	if st.CorruptDiscards < 1 {
+		t.Errorf("no corrupt discard recorded: %+v", st)
+	}
+	// The re-simulation rewrote the entry; a later process must read it.
+	later := New(DefaultMaxBytes, dir)
+	later.Run(cfg)
+	if lst := later.Stats(); lst.DiskHits != 1 || lst.CorruptDiscards != 0 {
+		t.Errorf("rewritten entry should serve clean disk hits: %+v", lst)
 	}
 }
 

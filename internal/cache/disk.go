@@ -75,7 +75,11 @@ func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".gob"
 
 // loadDisk is a best-effort read of the persisted result for key; any
 // failure (missing file, truncated write from a crashed process,
-// malformed dump) reads as a miss.
+// malformed dump) reads as a miss. Corrupt entries are discarded — the
+// file is unlinked so every concurrent singleflight waiter and every
+// future lookup sees a clean miss and the leader's re-simulation can
+// persist a good entry, instead of each new reader re-paying a failing
+// decode against the same bad bytes.
 func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 	if c.dir == "" {
 		return nil, false
@@ -90,12 +94,12 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 	defer f.Close()
 	var sr storedResult
 	if err := gob.NewDecoder(f).Decode(&sr); err != nil {
-		c.diskErrors.Add(1)
+		c.discardCorrupt(key)
 		return nil, false
 	}
 	ctr, err := perf.CountersFromDump(sr.Ctr)
 	if err != nil {
-		c.diskErrors.Add(1)
+		c.discardCorrupt(key)
 		return nil, false
 	}
 	return &core.Result{
@@ -131,6 +135,17 @@ func (c *Cache) loadDisk(key string, cfg core.Config) (*core.Result, bool) {
 		ConnsAbandoned:     sr.ConnsAbandoned,
 		SynDrops:           sr.SynDrops,
 	}, true
+}
+
+// discardCorrupt counts and unlinks a corrupt persisted entry. Removal
+// is best-effort: a racing discard from another process sharing the
+// directory has the same effect, and a removal failure only means the
+// next reader discards again.
+func (c *Cache) discardCorrupt(key string) {
+	c.corruptDiscards.Add(1)
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		c.diskErrors.Add(1)
+	}
 }
 
 // storeDisk persists res under key via write-to-temp + rename, so

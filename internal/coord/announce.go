@@ -1,0 +1,72 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Announce registers a worker with a coordinator once. Registration is
+// idempotent; a worker announces on startup and re-announces on an
+// interval so a restarted coordinator relearns its fleet.
+func Announce(ctx context.Context, client *http.Client, coordURL string, rq RegisterRequest) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(rq)
+	if err != nil {
+		return fmt.Errorf("encoding registration: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordURL+"/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("coordinator %s: status %d: %s", coordURL, resp.StatusCode, e.Error)
+	}
+	return nil
+}
+
+// AnnounceLoop announces immediately, then re-announces every interval
+// until ctx is cancelled. Failures are logged through logf and retried
+// at the same cadence — a coordinator that is down at worker startup
+// learns of the worker as soon as it comes up.
+func AnnounceLoop(ctx context.Context, coordURL string, rq RegisterRequest, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: interval}
+	ok := false
+	for {
+		err := Announce(ctx, client, coordURL, rq)
+		switch {
+		case err == nil && !ok:
+			ok = true
+			logf("registered with coordinator %s as %s", coordURL, rq.URL)
+		case err != nil && ctx.Err() == nil:
+			ok = false
+			logf("announce to %s failed (will retry): %v", coordURL, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}

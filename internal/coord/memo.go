@@ -1,0 +1,102 @@
+package coord
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// memo is the fleet-wide result dedup: an entry-bounded LRU of raw
+// NDJSON lines keyed by cache.Fingerprint, fronted by singleflight so
+// concurrent requests for one fingerprint dispatch a single worker
+// request. It sits above the workers' own caches — those save the
+// simulation, this saves the round trip (and keeps a warm repeat sweep
+// from touching the fleet at all).
+type memo struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	flight map[string]*memoFlight
+}
+
+type memoEntry struct {
+	key  string
+	line []byte
+}
+
+type memoFlight struct {
+	done chan struct{}
+	line []byte // set before done closes
+	err  error
+}
+
+func newMemo(maxEntries int) *memo {
+	return &memo{
+		max:    maxEntries,
+		ll:     list.New(),
+		byKey:  make(map[string]*list.Element),
+		flight: make(map[string]*memoFlight),
+	}
+}
+
+// len reports resident entries; nil-safe.
+func (m *memo) len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// getOrDo returns the memoized line for key, running do at most once
+// per key across all concurrent callers. deduped reports whether the
+// line came from the memo or a shared flight rather than this caller's
+// own dispatch. A waiter whose leader fails contends to re-lead — one
+// worker hiccup does not poison every coalesced request — and a waiter
+// whose own ctx dies stops waiting.
+func (m *memo) getOrDo(ctx context.Context, key string, do func() ([]byte, error)) (line []byte, deduped bool, err error) {
+	for {
+		m.mu.Lock()
+		if el, ok := m.byKey[key]; ok {
+			m.ll.MoveToFront(el)
+			line := el.Value.(*memoEntry).line
+			m.mu.Unlock()
+			return line, true, nil
+		}
+		if fl, ok := m.flight[key]; ok {
+			m.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if fl.err == nil {
+				return fl.line, true, nil
+			}
+			continue // leader failed; contend to re-lead
+		}
+		fl := &memoFlight{done: make(chan struct{})}
+		m.flight[key] = fl
+		m.mu.Unlock()
+
+		line, err := do()
+		m.mu.Lock()
+		delete(m.flight, key)
+		if err == nil {
+			if _, ok := m.byKey[key]; !ok {
+				m.byKey[key] = m.ll.PushFront(&memoEntry{key: key, line: line})
+				for m.ll.Len() > m.max {
+					cold := m.ll.Back()
+					m.ll.Remove(cold)
+					delete(m.byKey, cold.Value.(*memoEntry).key)
+				}
+			}
+		}
+		m.mu.Unlock()
+		fl.line, fl.err = line, err
+		close(fl.done)
+		return line, false, err
+	}
+}

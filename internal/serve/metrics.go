@@ -116,7 +116,9 @@ func (m *metrics) write(w http.ResponseWriter, s *Server) {
 	counter("affinity_cache_disk_hits_total", "Result-cache misses served from the on-disk store.", cs.DiskHits)
 	counter("affinity_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
 	counter("affinity_cache_disk_errors_total", "Best-effort disk store failures.", cs.DiskErrors)
+	counter("affinity_cache_corrupt_discards_total", "Corrupt persisted entries discarded (unlinked and treated as misses).", cs.CorruptDiscards)
 	counter("affinity_sims_total", "Simulations actually executed.", cs.Sims)
+	counter("affinity_sweep_cells_cancelled_total", "Sweep cells cancelled before dispatch because their NDJSON stream was abandoned.", s.sweepCancelled.Load())
 	gauge("affinity_cache_entries", "Resident result-cache entries.", "%d", cs.Entries)
 	gauge("affinity_cache_bytes", "Resident result-cache bytes.", "%d", cs.Bytes)
 	gauge("affinity_cache_hit_ratio", "Served-without-simulating ratio over all lookups.", "%g", cs.HitRatio())

@@ -82,7 +82,13 @@ type Server struct {
 	defaultCoalesce string
 	metrics         *metrics
 	engines         engineAgg
-	mux             *http.ServeMux
+	// waiting counts requests blocked on a limiter slot — the queue
+	// depth a coordinator's load-aware planner weighs against.
+	waiting atomic.Int64
+	// sweepCancelled counts sweep cells skipped because their NDJSON
+	// stream was abandoned before they were dispatched.
+	sweepCancelled atomic.Uint64
+	mux            *http.ServeMux
 }
 
 // engineAgg accumulates scheduler counters across every result the
@@ -185,6 +191,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/verify", s.instrument("/v1/verify", s.handleVerify))
+	s.mux.HandleFunc("GET /v1/ping", s.instrument("/v1/ping", s.handlePing))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.write(w, s)
@@ -197,6 +204,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Cache returns the server's result cache (for stats in callers).
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Limit reports the request concurrency limit — the per-worker capacity
+// this node advertises to a coordinator.
+func (s *Server) Limit() int { return cap(s.sem) }
 
 // statusWriter captures the status code (for metrics) and whether any
 // response bytes went out (so panic recovery knows if a 500 can still
@@ -258,6 +269,8 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) func() {
 		return func() { <-s.sem }
 	default:
 	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }
@@ -287,6 +300,18 @@ func (e *fieldError) Unwrap() error { return e.err }
 
 func fieldErrf(field, format string, args ...any) error {
 	return &fieldError{field: field, err: fmt.Errorf(format, args...)}
+}
+
+// FieldOf reports the offending request field when err is a
+// field-attributable validation failure from Config/Expand — the
+// coordinator reuses this to render the same 400 shape as the worker
+// API.
+func FieldOf(err error) (string, bool) {
+	var fe *fieldError
+	if errors.As(err, &fe) {
+		return fe.field, true
+	}
+	return "", false
 }
 
 // badRequest renders a validation error as a 400. Field-attributable
@@ -363,8 +388,11 @@ type RunRequest struct {
 	Coalesce string `json:"coalesce"`
 }
 
-// config resolves the request into a validated core.Config.
-func (rq RunRequest) config() (core.Config, error) {
+// Config resolves the request into a validated core.Config — the same
+// resolution every server applies, exported so a coordinator sharing
+// this build fingerprints a cell exactly as the worker that simulates
+// it will.
+func (rq RunRequest) Config() (core.Config, error) {
 	mode := core.ModeNone
 	if rq.Mode != "" {
 		m, err := core.ParseMode(rq.Mode)
@@ -485,7 +513,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if rq.Coalesce == "" {
 		rq.Coalesce = s.defaultCoalesce
 	}
-	cfg, err := rq.config()
+	cfg, err := rq.Config()
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -533,6 +561,82 @@ type SweepRequest struct {
 	Modes []string `json:"modes"` // default: the paper's four modes
 }
 
+// SweepCell is one expanded cell of a sweep grid: the resolved Config
+// the cell simulates, plus an equivalent single-cell RunRequest that
+// re-resolves to the same Config on any server sharing this build —
+// the form a coordinator forwards to workers.
+type SweepCell struct {
+	Req RunRequest
+	Cfg core.Config
+}
+
+// Expand resolves the grid into its deterministic cell list (sizes
+// outer, modes inner — the figure order). Every sweep path — this
+// server's handler, the coordinator's shard planner — expands through
+// here, which is what makes a fleet merge byte-identical to a
+// single-node stream of the same request.
+func (rq SweepRequest) Expand() ([]SweepCell, error) {
+	base, err := rq.Config()
+	if err != nil {
+		return nil, err
+	}
+	type modeCell struct {
+		name string
+		mode core.Mode
+	}
+	var modes []modeCell
+	if len(rq.Modes) > 0 {
+		for _, ms := range rq.Modes {
+			m, err := core.ParseMode(ms)
+			if err != nil {
+				return nil, &fieldError{field: "modes", err: err}
+			}
+			modes = append(modes, modeCell{ms, m})
+		}
+	} else {
+		for _, m := range core.Modes() {
+			modes = append(modes, modeCell{ModeToken(m), m})
+		}
+	}
+	sizes := rq.Sizes
+	if len(sizes) == 0 {
+		sizes = append([]int(nil), core.Sizes...)
+	}
+	cells := make([]SweepCell, 0, len(sizes)*len(modes))
+	for _, size := range sizes {
+		if size <= 0 {
+			return nil, fieldErrf("sizes", "size must be positive, got %d", size)
+		}
+		for _, mc := range modes {
+			cfg := base
+			cfg.Mode = mc.mode
+			cfg.Size = size
+			req := rq.RunRequest
+			req.Mode = mc.name
+			req.Size = size
+			cells = append(cells, SweepCell{Req: req, Cfg: cfg})
+		}
+	}
+	return cells, nil
+}
+
+// ModeToken maps a Mode to a canonical spelling core.ParseMode accepts
+// — the inverse the coordinator needs to forward a defaulted grid.
+func ModeToken(m core.Mode) string {
+	switch m {
+	case core.ModeProc:
+		return "proc"
+	case core.ModeIRQ:
+		return "irq"
+	case core.ModeFull:
+		return "full"
+	case core.ModePartition:
+		return "partition"
+	default:
+		return "none"
+	}
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var rq SweepRequest
 	if !decode(w, r, &rq) {
@@ -544,39 +648,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if rq.Coalesce == "" {
 		rq.Coalesce = s.defaultCoalesce
 	}
-	base, err := rq.config()
+	cells, err := rq.Expand()
 	if err != nil {
 		badRequest(w, err)
 		return
-	}
-	sizes := rq.Sizes
-	if len(sizes) == 0 {
-		sizes = append([]int(nil), core.Sizes...)
-	}
-	modes := core.Modes()
-	if len(rq.Modes) > 0 {
-		modes = modes[:0]
-		for _, ms := range rq.Modes {
-			m, err := core.ParseMode(ms)
-			if err != nil {
-				badRequest(w, &fieldError{field: "modes", err: err})
-				return
-			}
-			modes = append(modes, m)
-		}
-	}
-	var cfgs []core.Config
-	for _, size := range sizes {
-		if size <= 0 {
-			badRequest(w, fieldErrf("sizes", "size must be positive, got %d", size))
-			return
-		}
-		for _, mode := range modes {
-			cfg := base
-			cfg.Mode = mode
-			cfg.Size = size
-			cfgs = append(cfgs, cfg)
-		}
 	}
 	release := s.acquire(w, r)
 	if release == nil {
@@ -586,17 +661,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Fan the grid across the worker pool; stream each cell as soon as
 	// it and all its predecessors are done, preserving deterministic
 	// order while overlapping compute with delivery.
-	out := make([]*core.Result, len(cfgs))
-	ready := make([]chan struct{}, len(cfgs))
+	ctx := r.Context()
+	out := make([]*core.Result, len(cells))
+	ready := make([]chan struct{}, len(cells))
 	for i := range ready {
 		ready[i] = make(chan struct{})
 	}
 	go func() {
 		defer release()
-		s.runner.Do(len(cfgs), func(i int) {
+		s.runner.Do(len(cells), func(i int) {
+			// An abandoned stream (client gone, timeout, or an earlier
+			// failed cell) cancels every cell not yet dispatched:
+			// coordinator retries and hedges abandon streams routinely,
+			// and simulating the remainder into a closed connection
+			// would burn the whole pool. Cells already simulating run
+			// to completion and still populate the cache.
+			if ctx.Err() != nil {
+				s.sweepCancelled.Add(1)
+				close(ready[i])
+				return
+			}
 			// A panicking cell leaves a nil slot; the stream ends there
 			// rather than skipping it, so truncation signals the failure.
-			out[i], _ = s.runSafe("/v1/sweep", cfgs[i])
+			out[i], _ = s.runSafe("/v1/sweep", cells[i].Cfg)
 			close(ready[i])
 		})
 	}()
@@ -604,12 +691,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	for i := range cfgs {
+	for i := range cells {
 		select {
 		case <-ready[i]:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			// Client gone or timed out: stop streaming. In-flight cells
-			// finish in the background and populate the cache.
+			// finish in the background and populate the cache;
+			// undispatched cells are cancelled above.
 			return
 		}
 		if out[i] == nil {
@@ -707,13 +795,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // the cache-invalidation handle: a changed version means persisted cache
 // entries may predate model changes and should be discarded.
 type HealthResponse struct {
-	Status   string       `json:"status"`
-	Version  string       `json:"version"`
-	Workers  int          `json:"workers"`
-	Inflight int          `json:"inflight_requests"`
-	Limit    int          `json:"request_limit"`
-	Cache    cache.Stats  `json:"cache"`
-	Engine   EngineHealth `json:"engine"`
+	Status     string       `json:"status"`
+	Version    string       `json:"version"`
+	Workers    int          `json:"workers"`
+	Inflight   int          `json:"inflight_requests"`
+	QueueDepth int          `json:"queue_depth"`
+	Limit      int          `json:"request_limit"`
+	Cache      cache.Stats  `json:"cache"`
+	Engine     EngineHealth `json:"engine"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -721,12 +810,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(HealthResponse{
-		Status:   "ok",
-		Version:  s.version,
-		Workers:  s.runner.Workers(),
-		Inflight: len(s.sem),
-		Limit:    cap(s.sem),
-		Cache:    s.cache.Stats(),
-		Engine:   s.engines.snapshot(),
+		Status:     "ok",
+		Version:    s.version,
+		Workers:    s.runner.Workers(),
+		Inflight:   len(s.sem),
+		QueueDepth: int(s.waiting.Load()),
+		Limit:      cap(s.sem),
+		Cache:      s.cache.Stats(),
+		Engine:     s.engines.snapshot(),
+	})
+}
+
+// PingResponse is the JSON body of GET /v1/ping — the heartbeat a
+// coordinator probes. Deliberately cheap (no allocation-heavy nesting
+// beyond the engine block) and load-revealing: in-flight requests,
+// limiter capacity and queue depth feed the coordinator's load-aware
+// planner; version detects mixed-version fleets; sims and the engine
+// aggregate roll up into the coordinator's fleet-wide /healthz totals.
+type PingResponse struct {
+	Status     string       `json:"status"`
+	Version    string       `json:"version"`
+	Workers    int          `json:"workers"`
+	Inflight   int          `json:"inflight_requests"`
+	Limit      int          `json:"request_limit"`
+	QueueDepth int          `json:"queue_depth"`
+	Sims       uint64       `json:"sims_total"`
+	Engine     EngineHealth `json:"engine"`
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PingResponse{
+		Status:     "ok",
+		Version:    s.version,
+		Workers:    s.runner.Workers(),
+		Inflight:   len(s.sem),
+		Limit:      cap(s.sem),
+		QueueDepth: int(s.waiting.Load()),
+		Sims:       s.cache.Stats().Sims,
+		Engine:     s.engines.snapshot(),
 	})
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -442,5 +443,69 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	if !strings.Contains(metricsBody, `affinity_requests_total{path="/v1/run",code="500"} 1`) {
 		t.Errorf("metrics missing 500 count")
+	}
+}
+
+// TestAbandonedSweepCancelsUndispatchedCells covers the disconnect
+// pathology: a client that walks away from a sweep stream must not keep
+// the worker pool simulating cells nobody will read — exactly what a
+// coordinator's retries and hedges do to workers routinely.
+func TestAbandonedSweepCancelsUndispatchedCells(t *testing.T) {
+	srv := New(Options{Runner: core.NewRunner(1)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The full default grid: 7 sizes × 4 modes = 28 tiny cells,
+	// serialized on one worker so most are still undispatched when the
+	// client abandons the stream after the first line.
+	const cells = 28
+	body := fmt.Sprintf(`{"warmup_cycles":%d,"measure_cycles":%d}`, tinyWarmup, tinyMeasure)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("first cell line: %v", err)
+	}
+	cancel() // abandon the stream
+	resp.Body.Close()
+
+	// The producer drains: every cell either simulated (it was already
+	// dispatched) or was cancelled, and cancellation must claim the bulk.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sims := srv.Cache().Stats().Sims
+		cancelled := srv.sweepCancelled.Load()
+		if sims+cancelled >= cells {
+			if cancelled == 0 {
+				t.Fatal("no cells were cancelled after the client disconnected")
+			}
+			if sims >= cells {
+				t.Fatalf("all %d cells simulated despite the abandoned stream", cells)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never drained: sims=%d cancelled=%d", sims, cancelled)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsBody, "affinity_sweep_cells_cancelled_total") {
+		t.Error("metrics missing affinity_sweep_cells_cancelled_total")
+	}
+	if strings.Contains(metricsBody, "affinity_sweep_cells_cancelled_total 0\n") {
+		t.Error("cancelled-cell counter stuck at zero in /metrics")
 	}
 }

@@ -1,8 +1,9 @@
-// Command bench_compare is the benchmark trajectory tool behind
-// scripts/bench.sh and the CI bench job. Two subcommands:
+// Command bench_compare is the CI helper tool behind scripts/bench.sh,
+// scripts/fleet_smoke.sh and their CI jobs. Subcommands:
 //
 //	parse              read `go test -bench` output on stdin, emit BENCH JSON
 //	compare BASE CUR   exit nonzero if CUR regresses vs the BASE json
+//	sweepcsv           read /v1/sweep NDJSON on stdin, emit Sweep.CSV text
 //
 // The JSON shape is stable and diff-friendly: benchmark names (with their
 // -N GOMAXPROCS suffixes) map to {ns_op, b_op, allocs_op, extra metrics}.
@@ -46,6 +47,8 @@ func main() {
 		parse(os.Args[2:])
 	case "compare":
 		compare(os.Args[2:])
+	case "sweepcsv":
+		sweepCSV(os.Args[2:])
 	default:
 		usage()
 	}
@@ -54,6 +57,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bench_compare parse < bench.txt > BENCH.json")
 	fmt.Fprintln(os.Stderr, "       bench_compare compare [-threshold 1.2] baseline.json current.json")
+	fmt.Fprintln(os.Stderr, "       bench_compare sweepcsv < sweep.ndjson > sweep.csv")
 	os.Exit(2)
 }
 

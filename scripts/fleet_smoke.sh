@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Fleet determinism smoke: one affinity-coord sharding over two
+# affinity-serve workers must be byte-for-byte indistinguishable from a
+# single worker — and from the serial figure generator — while actually
+# exercising the fleet machinery (self-registration, load-aware
+# sharding, fleet-memo dedup, worker loss). CI runs this; locally:
+#
+#   ./scripts/fleet_smoke.sh
+set -euo pipefail
+
+COORD=127.0.0.1:18070
+WORKER_A=127.0.0.1:18071
+WORKER_B=127.0.0.1:18072
+SOLO=127.0.0.1:18073
+TMP=$(mktemp -d)
+trap 'kill "$COORD_PID" "$A_PID" "$B_PID" "$SOLO_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/affinity-serve" ./cmd/affinity-serve
+go build -o "$TMP/affinity-coord" ./cmd/affinity-coord
+go build -o "$TMP/affinity-figures" ./cmd/affinity-figures
+go build -o "$TMP/sweepcsv" ./scripts
+
+"$TMP/affinity-coord" -addr "$COORD" -heartbeat 500ms -evict-after 2 -retry-base 100ms &
+COORD_PID=$!
+# Workers join the fleet themselves: -coord announces and re-announces.
+"$TMP/affinity-serve" -addr "$WORKER_A" -coord "http://$COORD" -announce-interval 1s &
+A_PID=$!
+"$TMP/affinity-serve" -addr "$WORKER_B" -coord "http://$COORD" -announce-interval 1s &
+B_PID=$!
+# The single-node reference: a plain worker, no fleet.
+"$TMP/affinity-serve" -addr "$SOLO" &
+SOLO_PID=$!
+
+wait_healthy() { # url predicate-grep
+    for i in $(seq 1 100); do
+        if curl -sf "$1" 2>/dev/null | grep -q "$2"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "fleet_smoke: timed out waiting for $1 to match '$2'" >&2
+    exit 1
+}
+wait_healthy "http://$SOLO/healthz" '"status": "ok"'
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 2'
+echo "fleet_smoke: coordinator sees both workers"
+
+metric() { # addr name -> value
+    curl -sf "http://$1/metrics" | awk -v m="$2" '$1 == m { print $2 }'
+}
+
+# --- 1. Fleet merge is byte-identical to a single node -----------------
+SWEEP_A='{"dir":"tx","seed":1,"warmup_cycles":2000000,"measure_cycles":5000000}'
+curl -sf -X POST "http://$SOLO/v1/sweep" -d "$SWEEP_A" > "$TMP/solo_a.ndjson"
+curl -sf -X POST "http://$COORD/v1/sweep" -d "$SWEEP_A" > "$TMP/fleet_a.ndjson"
+cmp "$TMP/solo_a.ndjson" "$TMP/fleet_a.ndjson"
+LINES=$(wc -l < "$TMP/fleet_a.ndjson")
+echo "fleet_smoke: cold fleet sweep ($LINES cells) byte-identical to single node"
+
+# Both workers must actually have taken shards.
+for W in "$WORKER_A" "$WORKER_B"; do
+    SIMS=$(metric "$W" affinity_sims_total)
+    if [ "${SIMS:-0}" -eq 0 ]; then
+        echo "fleet_smoke: worker $W simulated nothing; sharding did not spread" >&2
+        exit 1
+    fi
+done
+
+# --- 2. Warm repeat: 100% fleet-memo dedup, zero re-simulations --------
+DISPATCHED_COLD=$(metric "$COORD" affinity_coord_cells_dispatched_total)
+DEDUPED_COLD=$(metric "$COORD" affinity_coord_cells_deduped_total)
+SIMS_COLD=$(( $(metric "$WORKER_A" affinity_sims_total) + $(metric "$WORKER_B" affinity_sims_total) ))
+curl -sf -X POST "http://$COORD/v1/sweep" -d "$SWEEP_A" > "$TMP/fleet_a2.ndjson"
+cmp "$TMP/fleet_a.ndjson" "$TMP/fleet_a2.ndjson"
+DISPATCHED_WARM=$(metric "$COORD" affinity_coord_cells_dispatched_total)
+DEDUPED_WARM=$(metric "$COORD" affinity_coord_cells_deduped_total)
+SIMS_WARM=$(( $(metric "$WORKER_A" affinity_sims_total) + $(metric "$WORKER_B" affinity_sims_total) ))
+if [ "$DISPATCHED_WARM" -ne "$DISPATCHED_COLD" ]; then
+    echo "fleet_smoke: warm repeat dispatched $((DISPATCHED_WARM - DISPATCHED_COLD)) cells to workers, want 0" >&2
+    exit 1
+fi
+if [ $((DEDUPED_WARM - DEDUPED_COLD)) -lt "$LINES" ]; then
+    echo "fleet_smoke: warm repeat deduped $((DEDUPED_WARM - DEDUPED_COLD)) of $LINES cells" >&2
+    exit 1
+fi
+if [ "$SIMS_WARM" -ne "$SIMS_COLD" ]; then
+    echo "fleet_smoke: warm repeat re-simulated $((SIMS_WARM - SIMS_COLD)) cells, want 0" >&2
+    exit 1
+fi
+echo "fleet_smoke: warm repeat 100% deduped ($((DEDUPED_WARM - DEDUPED_COLD)) cells, 0 dispatches, 0 sims)"
+
+# --- 3. Fleet sweep matches the serial figure generator ----------------
+# The figures CSV and the sweep NDJSON are two renderings of the same
+# deterministic cells; -quick equals the API's "quick":true windows.
+curl -sf -X POST "http://$COORD/v1/sweep" -d '{"dir":"tx","quick":true}' \
+    | "$TMP/sweepcsv" sweepcsv > "$TMP/fleet_tx.csv"
+"$TMP/affinity-figures" -fig 3 -quick -csv -workers 1 > "$TMP/figures.txt"
+# Extract the TX block: the first CSV header plus its 28 rows.
+awk '/^dir,size,mode/ { if (!seen) { seen=1; print; next } else exit } seen && /^TX,/ { print }' \
+    "$TMP/figures.txt" > "$TMP/figures_tx.csv"
+cmp "$TMP/figures_tx.csv" "$TMP/fleet_tx.csv"
+echo "fleet_smoke: fleet quick sweep byte-identical to affinity-figures serial CSV"
+
+# --- 4. Worker killed mid-sweep: reassigned, merge still identical -----
+SWEEP_B='{"dir":"tx","seed":2,"warmup_cycles":10000000,"measure_cycles":30000000}'
+curl -sf -X POST "http://$SOLO/v1/sweep" -d "$SWEEP_B" > "$TMP/solo_b.ndjson"
+curl -sf -N -X POST "http://$COORD/v1/sweep" -d "$SWEEP_B" > "$TMP/fleet_b.ndjson" &
+CURL_PID=$!
+sleep 2
+kill -9 "$B_PID" 2>/dev/null || true
+echo "fleet_smoke: killed worker B mid-sweep (SIGKILL, no drain)"
+wait "$CURL_PID"
+cmp "$TMP/solo_b.ndjson" "$TMP/fleet_b.ndjson"
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 1'
+echo "fleet_smoke: mid-sweep worker loss reassigned; merge still byte-identical; corpse evicted"
+
+echo "fleet_smoke: OK"

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// sweepCSV re-renders a /v1/sweep NDJSON stream (stdin) as the
+// Sweep.CSV table (stdout) — the same header, row format, and row order
+// core.Sweep.CSV emits for a default grid, since the sweep endpoint
+// streams sizes-outer/modes-inner over ascending default sizes. The
+// fleet smoke test uses it to byte-diff a coordinator-merged sweep
+// against affinity-figures' serial CSV output.
+func sweepCSV(args []string) {
+	fs := flag.NewFlagSet("sweepcsv", flag.ExitOnError)
+	fs.Parse(args)
+	type row struct {
+		Mode string  `json:"mode"`
+		Dir  string  `json:"dir"`
+		Size int     `json:"size"`
+		Mbps float64 `json:"mbps"`
+		Util float64 `json:"util"`
+		Cost float64 `json:"cost_ghz_per_gbps"`
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "dir,size,mode,mbps,util,cost_ghz_per_gbps")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepcsv: line %d: %v\n", n+1, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s,%d,%s,%.2f,%.4f,%.4f\n", r.Dir, r.Size, r.Mode, r.Mbps, r.Util, r.Cost)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepcsv: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "sweepcsv: empty stream")
+		os.Exit(1)
+	}
+}
