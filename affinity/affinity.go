@@ -324,8 +324,10 @@ type Coordinator = coord.Coordinator
 type CoordinatorOptions = coord.Options
 
 // NewCoordinator builds the fleet coordinator handler; mount it on any
-// http.Server and Close it when done.
-func NewCoordinator(opts CoordinatorOptions) *Coordinator { return coord.New(opts) }
+// http.Server and Close (or Shutdown) it when done. The only
+// construction error is a journal directory that cannot be opened or
+// replayed.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) { return coord.New(opts) }
 
 // --- timeline tracing ---
 

@@ -19,6 +19,13 @@
 //	-retry-cap d         backoff ceiling (default 5s)
 //	-hedge-after d       straggler hedge delay; <0 disables (default 30s)
 //	-memo-entries n      fleet result-memo entry bound (default 65536)
+//	-journal-dir path    durable cell journal; a restarted coordinator
+//	                     replays it and re-dispatches only missing cells
+//	-journal-sync d      journal group-commit fsync interval (default 100ms)
+//	-breaker-threshold n consecutive dispatch failures that open a
+//	                     worker's circuit breaker; <0 disables (default 5)
+//	-breaker-cooloff d   open-breaker cooloff before a half-open probe
+//	                     (default 10s)
 //	-drain d             shutdown drain budget (default 30s)
 //	-version             print the build version and exit
 //
@@ -64,6 +71,10 @@ func main() {
 	retryCap := flag.Duration("retry-cap", 5*time.Second, "retry backoff ceiling")
 	hedgeAfter := flag.Duration("hedge-after", 30*time.Second, "straggler hedge delay (<0 disables)")
 	memoEntries := flag.Int("memo-entries", 65536, "fleet result-memo entry bound (<0 disables)")
+	journalDir := flag.String("journal-dir", "", "durable cell journal directory (empty disables)")
+	journalSync := flag.Duration("journal-sync", 100*time.Millisecond, "journal group-commit fsync interval")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive dispatch failures that open a worker's breaker (<0 disables)")
+	breakerCooloff := flag.Duration("breaker-cooloff", 10*time.Second, "open-breaker cooloff before a half-open probe")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -73,17 +84,25 @@ func main() {
 		return
 	}
 
-	c := coord.New(coord.Options{
-		Workers:     workers,
-		Heartbeat:   *heartbeat,
-		EvictAfter:  *evictAfter,
-		CellTimeout: *cellTimeout,
-		Retries:     *retries,
-		RetryBase:   *retryBase,
-		RetryCap:    *retryCap,
-		HedgeAfter:  *hedgeAfter,
-		MemoEntries: *memoEntries,
+	c, err := coord.New(coord.Options{
+		Workers:          workers,
+		Heartbeat:        *heartbeat,
+		EvictAfter:       *evictAfter,
+		CellTimeout:      *cellTimeout,
+		Retries:          *retries,
+		RetryBase:        *retryBase,
+		RetryCap:         *retryCap,
+		HedgeAfter:       *hedgeAfter,
+		MemoEntries:      *memoEntries,
+		JournalDir:       *journalDir,
+		JournalSync:      *journalSync,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooloff:   *breakerCooloff,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-coord:", err)
+		os.Exit(1)
+	}
 	defer c.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: c}
@@ -108,7 +127,15 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			// The drain budget is spent; cut the remaining streams so the
+			// journal checkpoint below still runs before exit.
 			fmt.Fprintln(os.Stderr, "affinity-coord: drain incomplete:", err)
+			httpSrv.Close()
+		}
+		// Stop background loops and compact the journal: every cell that
+		// completed before the signal survives the restart.
+		if err := c.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "affinity-coord: journal checkpoint:", err)
 			os.Exit(1)
 		}
 	}

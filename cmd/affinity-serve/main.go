@@ -10,6 +10,10 @@
 //	-workers n           simulation workers per sweep (0 = GOMAXPROCS)
 //	-max-inflight n      concurrent simulating requests (0 = 2×workers)
 //	-timeout d           per-request timeout (default 5m)
+//	-sim-budget d        per-simulation wall-clock budget; the watchdog
+//	                     cancels a run that exceeds it and frees the
+//	                     slot (0 = none)
+//	-max-sim-cycles n    per-simulation simulated-cycle budget (0 = none)
 //	-cache-bytes n       in-memory result-cache bound (default 256 MiB)
 //	-cache-dir path      on-disk result store (default $AFFINITY_CACHE_DIR)
 //	-drain d             shutdown drain budget after SIGINT/SIGTERM (default 30s)
@@ -61,6 +65,8 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation workers per sweep (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent simulating requests (0 = 2×workers)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	simBudget := flag.Duration("sim-budget", 0, "per-simulation wall-clock budget (0 = none)")
+	maxSimCycles := flag.Uint64("max-sim-cycles", 0, "per-simulation simulated-cycle budget (0 = none)")
 	cacheBytes := flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory result-cache byte bound (<=0 = unbounded)")
 	cacheDir := flag.String("cache-dir", os.Getenv(cache.DirEnv), "on-disk result store directory (empty = memory only)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
@@ -98,6 +104,8 @@ func main() {
 		Cache:           c,
 		MaxInflight:     *maxInflight,
 		Timeout:         *timeout,
+		SimBudget:       *simBudget,
+		MaxSimCycles:    *maxSimCycles,
 		DefaultWorkload: *workloadFlag,
 		DefaultCoalesce: *coalesceFlag,
 	})

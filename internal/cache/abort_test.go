@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAbortedResultNotStored: an aborted simulation must be handed back
+// to its own caller (a failure signal) but never enter the memory LRU,
+// the disk store, or the singleflight result slot — a later identical
+// request re-simulates with its own live cancel.
+func TestAbortedResultNotStored(t *testing.T) {
+	dir := t.TempDir()
+	c := New(DefaultMaxBytes, dir)
+	cfg := quickCfg(1)
+
+	aborted := func(core.Config) *core.Result {
+		return &core.Result{Aborted: true, AbortReason: core.AbortCancelled}
+	}
+	res := c.GetOrRun(cfg, aborted)
+	if res == nil || !res.Aborted {
+		t.Fatal("caller did not receive its aborted result back")
+	}
+	st := c.Stats()
+	if st.Aborts != 1 {
+		t.Errorf("aborts = %d, want 1", st.Aborts)
+	}
+	if st.Entries != 0 {
+		t.Errorf("aborted result entered the memory cache (%d entries)", st.Entries)
+	}
+
+	// The retry simulates for real and gets a clean, cacheable result.
+	clean := c.Run(cfg)
+	if clean.Aborted {
+		t.Fatal("retry after an abort returned the aborted result")
+	}
+	st = c.Stats()
+	if st.Sims != 2 {
+		t.Errorf("sims = %d, want 2 (abort attempt + clean retry)", st.Sims)
+	}
+	if st.Entries != 1 {
+		t.Errorf("clean retry not cached (%d entries)", st.Entries)
+	}
+
+	// A fresh cache over the same disk dir must miss memory AND disk for
+	// an aborted fingerprint — here the clean result is on disk, so it
+	// hits; the point is the abort never wrote anything corrupt there.
+	c2 := New(DefaultMaxBytes, dir)
+	if r := c2.Run(cfg); r.Aborted {
+		t.Fatal("disk store handed back an aborted result")
+	}
+	if got := c2.Stats().DiskHits; got != 1 {
+		t.Errorf("disk hits = %d, want 1 (only the clean result persisted)", got)
+	}
+}
+
+// TestAbortedLeaderReleasesWaiters: when the singleflight leader aborts,
+// coalesced waiters must not inherit the aborted result — they re-contend
+// and one of them simulates cleanly.
+func TestAbortedLeaderReleasesWaiters(t *testing.T) {
+	c := New(DefaultMaxBytes, "")
+	cfg := quickCfg(3)
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slowAbort := func(core.Config) *core.Result {
+		once.Do(func() { close(leaderIn) })
+		<-release
+		return &core.Result{Aborted: true, AbortReason: core.AbortCancelled}
+	}
+
+	leaderDone := make(chan *core.Result, 1)
+	go func() { leaderDone <- c.GetOrRun(cfg, slowAbort) }()
+	<-leaderIn
+
+	waiterDone := make(chan *core.Result, 1)
+	go func() { waiterDone <- c.GetOrRun(cfg, core.Run) }()
+
+	close(release)
+	if r := <-leaderDone; !r.Aborted {
+		t.Fatal("leader did not get its own aborted result")
+	}
+	if r := <-waiterDone; r.Aborted {
+		t.Fatal("waiter inherited the leader's aborted result")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("clean waiter result not cached (%d entries)", st.Entries)
+	}
+}

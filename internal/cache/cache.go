@@ -49,6 +49,7 @@ type Cache struct {
 	sims            atomic.Uint64
 	diskErrors      atomic.Uint64
 	corruptDiscards atomic.Uint64
+	aborts          atomic.Uint64
 	inflight        atomic.Int64
 }
 
@@ -142,6 +143,15 @@ func (c *Cache) lead(key string, cfg core.Config, run core.RunFunc, fl *flightCa
 		c.inflight.Add(1)
 		res = run(cfg)
 		c.inflight.Add(-1)
+		if res != nil && res.Aborted {
+			// An aborted run is a failure signal, not a result: hand it
+			// back to the caller that owns the cancel, but keep it out of
+			// both stores and leave fl.res nil, so coalesced waiters
+			// re-contend for leadership with their own (live) signal
+			// instead of inheriting this caller's abort.
+			c.aborts.Add(1)
+			return res
+		}
 		c.storeDisk(key, res)
 	}
 	c.insert(key, res)
@@ -211,6 +221,9 @@ type Stats struct {
 	// (truncated gob, unreconstructable counter dump) and were unlinked
 	// so every waiter and future lookup treats the key as a clean miss.
 	CorruptDiscards uint64
+	// Aborts counts simulations that returned Aborted (cancelled or over
+	// budget) and were therefore kept out of every store.
+	Aborts uint64
 	// Inflight is the number of simulations executing right now.
 	Inflight int64
 	// Dir is the disk store root ("" = memory only).
@@ -237,6 +250,7 @@ func (c *Cache) Stats() Stats {
 		Evictions:       c.evictions.Load(),
 		DiskErrors:      c.diskErrors.Load(),
 		CorruptDiscards: c.corruptDiscards.Load(),
+		Aborts:          c.aborts.Load(),
 		Inflight:        c.inflight.Load(),
 		Dir:             c.dir,
 	}

@@ -1,0 +1,109 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions drives one worker's breaker through the full
+// cycle: closed → open at the failure threshold, half-open after the
+// cooloff admitting exactly one probe, reopen on a failed probe, close
+// on a successful one.
+func TestBreakerTransitions(t *testing.T) {
+	const cooloff = 50 * time.Millisecond
+	r := newRegistry(2, cooloff)
+	r.upsert("http://w1", "v", 4)
+
+	// Below threshold: still dispatchable.
+	if opened := r.fail("http://w1"); opened {
+		t.Fatal("breaker opened below threshold")
+	}
+	if l := r.tryAcquire(""); l == nil {
+		t.Fatal("worker undispatchable after one failure")
+	} else {
+		r.release(l)
+	}
+
+	// Threshold reached: opens, and no lease is grantable.
+	if opened := r.fail("http://w1"); !opened {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if l := r.tryAcquire(""); l != nil {
+		t.Fatalf("open breaker granted a lease on %s", l.url)
+	}
+	if ws := r.snapshot()[0]; ws.Breaker != "open" || ws.ConsecFails != 2 {
+		t.Fatalf("snapshot = %s/%d, want open/2", ws.Breaker, ws.ConsecFails)
+	}
+
+	// Cooloff over: half-open admits exactly one probe.
+	time.Sleep(cooloff + 10*time.Millisecond)
+	probe := r.tryAcquire("")
+	if probe == nil {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if ws := r.snapshot()[0]; ws.Breaker != "half-open" {
+		t.Fatalf("breaker = %s during probe, want half-open", ws.Breaker)
+	}
+	if l := r.tryAcquire(""); l != nil {
+		t.Fatal("half-open breaker admitted a second dispatch alongside the probe")
+	}
+
+	// Failed probe: straight back to open.
+	r.release(probe)
+	if opened := r.fail("http://w1"); !opened {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if l := r.tryAcquire(""); l != nil {
+		t.Fatal("reopened breaker granted a lease")
+	}
+
+	// Successful probe closes it and the worker serves freely again.
+	time.Sleep(cooloff + 10*time.Millisecond)
+	probe = r.tryAcquire("")
+	if probe == nil {
+		t.Fatal("second probe refused")
+	}
+	r.release(probe)
+	r.succeed("http://w1")
+	if ws := r.snapshot()[0]; ws.Breaker != "closed" || ws.ConsecFails != 0 {
+		t.Fatalf("snapshot after recovery = %s/%d, want closed/0", ws.Breaker, ws.ConsecFails)
+	}
+	for i := 0; i < 3; i++ {
+		l := r.tryAcquire("")
+		if l == nil {
+			t.Fatalf("closed breaker refused lease %d", i)
+		}
+		r.release(l)
+	}
+}
+
+// TestBreakerDisabled: a non-positive threshold turns breakers off — a
+// worker keeps taking dispatches no matter how many consecutive
+// failures it eats (retry/eviction remain the only defenses).
+func TestBreakerDisabled(t *testing.T) {
+	r := newRegistry(0, time.Millisecond)
+	r.upsert("http://w1", "v", 2)
+	for i := 0; i < 10; i++ {
+		if opened := r.fail("http://w1"); opened {
+			t.Fatal("disabled breaker opened")
+		}
+	}
+	if l := r.tryAcquire(""); l == nil {
+		t.Fatal("disabled breaker blocked dispatch")
+	}
+}
+
+// TestBreakerSuccessResetsStreak: interleaved successes keep a flaky-but-
+// working worker dispatchable — only *consecutive* failures open it.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	r := newRegistry(3, time.Minute)
+	r.upsert("http://w1", "v", 2)
+	for i := 0; i < 10; i++ {
+		r.fail("http://w1")
+		r.fail("http://w1")
+		r.succeed("http://w1")
+	}
+	if ws := r.snapshot()[0]; ws.Breaker != "closed" {
+		t.Fatalf("breaker = %s after alternating outcomes, want closed", ws.Breaker)
+	}
+}

@@ -65,6 +65,20 @@ type Options struct {
 	// MemoEntries bounds the raw-line result memo (entries, not bytes —
 	// one NDJSON line is a few KiB). 0 selects 65536; negative disables.
 	MemoEntries int
+	// JournalDir enables the durable cell journal under this directory:
+	// every completed cacheable cell's raw line is journaled, and a
+	// restarted coordinator serves journaled cells without dispatching
+	// them. Empty disables (sweep progress dies with the process).
+	JournalDir string
+	// JournalSync is the journal's group-commit fsync interval. 0
+	// selects 100ms.
+	JournalSync time.Duration
+	// BreakerThreshold consecutive dispatch failures open a worker's
+	// circuit breaker. 0 selects 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooloff is how long an open breaker blocks dispatch before
+	// admitting a half-open probe. 0 selects 10s.
+	BreakerCooloff time.Duration
 	// Version reported by /healthz; "" resolves from build info.
 	Version string
 	// Client performs worker HTTP requests; nil builds a default.
@@ -76,6 +90,7 @@ type Options struct {
 type Coordinator struct {
 	reg     *registry
 	memo    *memo
+	journal *Journal
 	metrics *cmetrics
 	client  *http.Client
 	version string
@@ -93,10 +108,22 @@ type Coordinator struct {
 	done   chan struct{}
 }
 
-// New assembles a Coordinator and starts its heartbeat prober.
-func New(opts Options) *Coordinator {
+// New assembles a Coordinator and starts its heartbeat prober. The only
+// error path is opening the journal (Options.JournalDir); a journal-less
+// coordinator cannot fail to build.
+func New(opts Options) (*Coordinator, error) {
+	breakerThreshold := opts.BreakerThreshold
+	if breakerThreshold == 0 {
+		breakerThreshold = 5
+	} else if breakerThreshold < 0 {
+		breakerThreshold = 0
+	}
+	breakerCooloff := opts.BreakerCooloff
+	if breakerCooloff <= 0 {
+		breakerCooloff = 10 * time.Second
+	}
 	c := &Coordinator{
-		reg:         newRegistry(),
+		reg:         newRegistry(breakerThreshold, breakerCooloff),
 		metrics:     newCMetrics(),
 		client:      opts.Client,
 		version:     opts.Version,
@@ -146,6 +173,13 @@ func New(opts Options) *Coordinator {
 	if entries > 0 {
 		c.memo = newMemo(entries)
 	}
+	if opts.JournalDir != "" {
+		j, err := OpenJournal(opts.JournalDir, opts.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
 	for _, u := range opts.Workers {
 		c.reg.upsert(strings.TrimRight(u, "/"), "", 0)
 	}
@@ -161,17 +195,34 @@ func New(opts Options) *Coordinator {
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
 	go c.probeLoop(ctx)
-	return c
+	return c, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
 
-// Close stops the heartbeat prober. In-flight requests finish on their
-// own contexts.
+// Close stops the heartbeat prober and closes the journal (final wal
+// sync, no checkpoint — the wal replays on the next open). In-flight
+// requests finish on their own contexts.
 func (c *Coordinator) Close() {
 	c.cancel()
 	<-c.done
+	c.journal.Close()
+}
+
+// Shutdown is the graceful-drain Close: it checkpoints the journal —
+// compacting wal into the atomic checkpoint file — before closing it, so
+// a restarted coordinator replays one clean file. Call after the HTTP
+// server has drained; journaling from still-running handlers after
+// Shutdown is a silent no-op.
+func (c *Coordinator) Shutdown() error {
+	c.cancel()
+	<-c.done
+	err := c.journal.Checkpoint()
+	if cerr := c.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // probeLoop pings every registered worker each heartbeat interval,
@@ -438,6 +489,7 @@ type CellCounters struct {
 	Hedged          uint64 `json:"hedged"`
 	HedgeDuplicates uint64 `json:"hedge_duplicates_discarded"`
 	Deduped         uint64 `json:"deduped"`
+	ResumeHits      uint64 `json:"resume_hits"`
 	Failed          uint64 `json:"failed"`
 }
 
@@ -453,6 +505,7 @@ type HealthResponse struct {
 	MixedVersions  bool           `json:"mixed_versions"`
 	Cells          CellCounters   `json:"cells"`
 	MemoEntries    int            `json:"memo_entries"`
+	Journal        JournalStats   `json:"journal"`
 	Fleet          FleetHealth    `json:"fleet"`
 	WorkerTable    []WorkerStatus `json:"workers"`
 }
@@ -469,9 +522,11 @@ func (c *Coordinator) health() HealthResponse {
 			Hedged:          c.metrics.hedged.Load(),
 			HedgeDuplicates: c.metrics.hedgeDuplicates.Load(),
 			Deduped:         c.metrics.deduped.Load(),
+			ResumeHits:      c.metrics.resumeHits.Load(),
 			Failed:          c.metrics.failed.Load(),
 		},
 		MemoEntries: c.memo.len(),
+		Journal:     c.journal.Stats(),
 		WorkerTable: table,
 	}
 	versions := make(map[string]bool)
@@ -512,17 +567,34 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(c.health())
 }
 
-// cell produces the raw NDJSON line for one cell, deduplicating through
-// the fleet memo: identical cells — within one sweep, across concurrent
-// sweeps, or on a warm repeat — dispatch to a worker at most once.
+// cell produces the raw NDJSON line for one cell: first the durable
+// journal (a restarted coordinator serves previously completed cells
+// without dispatching anything), then the fleet memo's singleflight,
+// then a dispatch — whose successful line is journaled before it is
+// returned, so completion and durability travel together.
 func (c *Coordinator) cell(ctx context.Context, cell serve.SweepCell) ([]byte, error) {
-	if c.memo == nil || !cache.Cacheable(cell.Cfg) {
+	if !cache.Cacheable(cell.Cfg) {
 		return c.dispatchCell(ctx, cell)
 	}
-	key := cache.Fingerprint(cell.Cfg)
-	line, deduped, err := c.memo.getOrDo(ctx, key, func() ([]byte, error) {
-		return c.dispatchCell(ctx, cell)
-	})
+	var key string
+	if c.journal != nil || c.memo != nil {
+		key = cache.Fingerprint(cell.Cfg)
+	}
+	if line, ok := c.journal.Get(key); ok {
+		c.metrics.resumeHits.Add(1)
+		return line, nil
+	}
+	do := func() ([]byte, error) {
+		line, err := c.dispatchCell(ctx, cell)
+		if err == nil {
+			c.journal.Append(key, line)
+		}
+		return line, err
+	}
+	if c.memo == nil {
+		return do()
+	}
+	line, deduped, err := c.memo.getOrDo(ctx, key, do)
 	if deduped {
 		c.metrics.deduped.Add(1)
 	}

@@ -33,7 +33,10 @@ func newWorker(t *testing.T) (*httptest.Server, *serve.Server) {
 
 func newCoord(t *testing.T, opts Options) (*httptest.Server, *Coordinator) {
 	t.Helper()
-	c := New(opts)
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(c.Close)
 	ts := httptest.NewServer(c)
 	t.Cleanup(ts.Close)

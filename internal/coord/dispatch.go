@@ -24,9 +24,21 @@ func (c *Coordinator) dispatchCell(ctx context.Context, cell serve.SweepCell) ([
 		err  error
 	}
 	results := make(chan outcome, 2) // buffered: a losing hedge must not leak its goroutine
+	// Each attempt loop gets its own cancellable context so the loser of
+	// a hedge race is cut off the moment its twin wins: its in-flight
+	// POST aborts, the worker sees the client vanish, and the simulation
+	// cancels cooperatively instead of burning the slot to completion.
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
 	launch := func() {
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
 		go func() {
-			line, err := c.attemptLoop(ctx, cell)
+			line, err := c.attemptLoop(actx, cell)
 			results <- outcome{line, err}
 		}()
 	}
@@ -112,9 +124,19 @@ func (c *Coordinator) attemptLoop(ctx context.Context, cell serve.SweepCell) ([]
 		c.metrics.observeWorker(l.url, time.Since(start))
 		c.reg.release(l)
 		if err == nil {
+			c.reg.succeed(l.url)
 			return line, nil
 		}
-		c.reg.fail(l.url)
+		if ctx.Err() != nil {
+			// The attempt died with its context — a hedge twin won, or the
+			// client abandoned the sweep. The worker is not at fault, so
+			// its breaker takes no charge.
+			c.metrics.cancelled.Add(1)
+			return nil, ctx.Err()
+		}
+		if c.reg.fail(l.url) {
+			c.metrics.breakerOpens.Add(1)
+		}
 		avoid = l.url
 		lastErr = err
 	}

@@ -1,0 +1,404 @@
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is the coordinator's durable record of completed cells: one
+// append-only record per fingerprint holding the raw NDJSON line the
+// fleet produced for it. Because a journaled line is the exact bytes a
+// worker streamed — never re-encoded — replaying it after a coordinator
+// crash cannot perturb a merged sweep by a single byte: a restarted
+// coordinator serves journaled cells straight from memory and dispatches
+// only the remainder.
+//
+// Layout under dir:
+//
+//	checkpoint   the last compaction — a complete, atomically renamed
+//	             record file (write temp + fsync + rename, the disk
+//	             cache's idiom)
+//	wal          records appended since that checkpoint
+//
+// Appends write straight through to the wal file (one write syscall per
+// record, so a crashed process loses nothing the kernel accepted) and
+// are fsynced in batches by a background syncer — group commit. The only
+// exposure is power loss inside one sync interval, and losing an
+// unsynced tail is safe: those cells are simply unknown again and
+// re-dispatch deterministically.
+//
+// Recovery mirrors the disk cache's CorruptDiscards semantics: a record
+// that fails its length or CRC check — and everything after it, since a
+// torn write orphans the tail — is discarded and counted, never served.
+type Journal struct {
+	dir string
+
+	mu       sync.Mutex
+	entries  map[string][]byte
+	order    []string // fingerprints in first-append order, for compaction
+	wal      *os.File
+	walBytes int64
+	dirty    bool
+	closed   bool
+
+	appends        atomic.Uint64
+	discards       atomic.Uint64
+	checkpoints    atomic.Uint64
+	writeErrors    atomic.Uint64
+	resumed        int
+	lastCheckpoint atomic.Int64 // unix nanos, 0 = never this process
+
+	syncStop chan struct{}
+	syncDone chan struct{}
+}
+
+const (
+	journalMagic   = "ajl1"
+	checkpointName = "checkpoint"
+	walName        = "wal"
+	// journalMaxLine bounds one record's payload, matching the dispatch
+	// path's response cap.
+	journalMaxLine = 16 << 20
+)
+
+// OpenJournal opens (creating if needed) the journal under dir, replays
+// checkpoint + wal into memory, and starts the group-commit syncer.
+// syncEvery is the fsync batching interval; 0 selects 100ms.
+func OpenJournal(dir string, syncEvery time.Duration) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if syncEvery <= 0 {
+		syncEvery = 100 * time.Millisecond
+	}
+	j := &Journal{
+		dir:      dir,
+		entries:  make(map[string][]byte),
+		syncStop: make(chan struct{}),
+		syncDone: make(chan struct{}),
+	}
+	// The checkpoint is a complete prior compaction; the wal holds
+	// everything since. Read in that order so a fingerprint journaled in
+	// both (possible if a crash interrupted checkpointing before the wal
+	// truncate) keeps its first-written line.
+	j.replayFile(filepath.Join(dir, checkpointName))
+	j.replayFile(filepath.Join(dir, walName))
+	j.resumed = len(j.entries)
+
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if st, err := wal.Stat(); err == nil {
+		j.walBytes = st.Size()
+	}
+	j.wal = wal
+	go j.syncLoop(syncEvery)
+	return j, nil
+}
+
+// replayFile loads every valid record from one journal file. Any
+// malformed record discards it and the rest of the file: past the first
+// torn or corrupt record nothing downstream can be trusted, so the tail
+// is treated as unknown (the cells re-dispatch).
+func (j *Journal) replayFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return // absent is the common cold-start case
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		fp, line, err := readRecord(r)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			j.discards.Add(1)
+			return
+		}
+		if _, ok := j.entries[fp]; ok {
+			continue
+		}
+		j.entries[fp] = line
+		j.order = append(j.order, fp)
+	}
+}
+
+// appendRecord renders one record:
+//
+//	ajl1 <fingerprint> <len> <crc32c-of-line> <line>\n
+//
+// The line itself is NDJSON and so contains no newline; the trailing
+// newline plus the length plus the CRC make truncation and corruption
+// both detectable.
+func appendRecord(buf []byte, fp string, line []byte) []byte {
+	buf = append(buf, journalMagic...)
+	buf = append(buf, ' ')
+	buf = append(buf, fp...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(len(line)), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, uint64(crc32.Checksum(line, crcTable)), 16)
+	buf = append(buf, ' ')
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readRecord parses one record, returning io.EOF at a clean end of file
+// and a descriptive error for anything torn or corrupt.
+func readRecord(r *bufio.Reader) (fp string, line []byte, err error) {
+	raw, err := r.ReadBytes('\n')
+	if err == io.EOF && len(raw) == 0 {
+		return "", nil, io.EOF
+	}
+	if err != nil {
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	raw = raw[:len(raw)-1]
+	fields := bytes.SplitN(raw, []byte(" "), 5)
+	if len(fields) != 5 || string(fields[0]) != journalMagic {
+		return "", nil, fmt.Errorf("malformed record")
+	}
+	n, err := strconv.ParseInt(string(fields[2]), 10, 64)
+	if err != nil || n < 0 || n > journalMaxLine {
+		return "", nil, fmt.Errorf("bad record length")
+	}
+	sum, err := strconv.ParseUint(string(fields[3]), 16, 32)
+	if err != nil {
+		return "", nil, fmt.Errorf("bad record checksum")
+	}
+	line = fields[4]
+	if int64(len(line)) != n || crc32.Checksum(line, crcTable) != uint32(sum) {
+		return "", nil, fmt.Errorf("record failed verification")
+	}
+	return string(fields[1]), append([]byte(nil), line...), nil
+}
+
+// Get returns the journaled line for a fingerprint, if any. The returned
+// bytes are shared and must not be mutated (the same convention as the
+// fleet memo).
+func (j *Journal) Get(fp string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	line, ok := j.entries[fp]
+	return line, ok
+}
+
+// Len reports the number of journaled cells.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Append records one completed cell. Idempotent per fingerprint — the
+// first line wins, which is safe because every line for a fingerprint is
+// byte-identical by the determinism guarantee. Write failures are
+// counted but not fatal: the journal is an accelerant for recovery, not
+// a correctness dependency, so a full disk degrades to re-dispatching.
+func (j *Journal) Append(fp string, line []byte) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if _, ok := j.entries[fp]; ok {
+		return
+	}
+	j.entries[fp] = line
+	j.order = append(j.order, fp)
+	rec := appendRecord(make([]byte, 0, len(line)+len(fp)+32), fp, line)
+	if _, err := j.wal.Write(rec); err != nil {
+		j.writeErrors.Add(1)
+		return
+	}
+	j.walBytes += int64(len(rec))
+	j.dirty = true
+	j.appends.Add(1)
+}
+
+// Checkpoint compacts the journal: every entry is written to a temporary
+// file, fsynced, and renamed over the checkpoint — the atomic-replace
+// idiom the disk cache uses — after which the wal is truncated. A crash
+// at any point leaves either the old checkpoint + full wal or the new
+// checkpoint (+ a possibly stale wal, whose duplicate fingerprints are
+// ignored on replay); no interleaving loses an entry.
+func (j *Journal) Checkpoint() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpointLocked()
+}
+
+func (j *Journal) checkpointLocked() error {
+	if j.closed {
+		return nil
+	}
+	tmp, err := os.CreateTemp(j.dir, checkpointName+".tmp*")
+	if err != nil {
+		j.writeErrors.Add(1)
+		return err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	var buf []byte
+	for _, fp := range j.order {
+		buf = appendRecord(buf[:0], fp, j.entries[fp])
+		if _, err := w.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			j.writeErrors.Add(1)
+			return err
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		j.writeErrors.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		j.writeErrors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(j.dir, checkpointName)); err != nil {
+		os.Remove(tmp.Name())
+		j.writeErrors.Add(1)
+		return err
+	}
+	// The checkpoint now covers everything; restart the wal. Truncate on
+	// the open O_APPEND handle is safe: subsequent writes append at the
+	// new (zero) end.
+	if err := j.wal.Truncate(0); err != nil {
+		j.writeErrors.Add(1)
+		return err
+	}
+	j.wal.Sync()
+	j.walBytes = 0
+	j.dirty = false
+	j.checkpoints.Add(1)
+	j.lastCheckpoint.Store(time.Now().UnixNano())
+	return nil
+}
+
+// syncLoop is the group-commit fsync: appended records are flushed to
+// the OS immediately but synced to stable storage in batches.
+func (j *Journal) syncLoop(every time.Duration) {
+	defer close(j.syncDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.syncStop:
+			return
+		case <-tick.C:
+		}
+		j.mu.Lock()
+		if j.dirty && !j.closed {
+			if err := j.wal.Sync(); err != nil {
+				j.writeErrors.Add(1)
+			}
+			j.dirty = false
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Close stops the syncer and closes the wal after a final sync. It does
+// not checkpoint — Coordinator.Shutdown does that for graceful drains;
+// an unclean stop simply leaves the wal to be replayed.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.syncStop)
+	<-j.syncDone
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.dirty {
+		err = j.wal.Sync()
+		j.dirty = false
+	}
+	if cerr := j.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// JournalStats is the journal block of the coordinator's /healthz.
+type JournalStats struct {
+	Enabled bool `json:"enabled"`
+	// Cells is the resident (and durable) journaled-cell count; Resumed
+	// is how many of those were replayed from disk at startup.
+	Cells   int `json:"cells"`
+	Resumed int `json:"resumed_cells"`
+	// WALBytes is the size of the un-compacted tail.
+	WALBytes int64 `json:"wal_bytes"`
+	// Appends/Checkpoints/CorruptDiscards/WriteErrors are this process's
+	// counters; LastCheckpoint is empty until the first checkpoint.
+	Appends         uint64 `json:"appends"`
+	Checkpoints     uint64 `json:"checkpoints"`
+	CorruptDiscards uint64 `json:"corrupt_discards"`
+	WriteErrors     uint64 `json:"write_errors"`
+	LastCheckpoint  string `json:"last_checkpoint,omitempty"`
+}
+
+// Stats snapshots the journal counters; nil-safe (a nil journal reports
+// the disabled state).
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	cells, walBytes := len(j.entries), j.walBytes
+	j.mu.Unlock()
+	s := JournalStats{
+		Enabled:         true,
+		Cells:           cells,
+		Resumed:         j.resumed,
+		WALBytes:        walBytes,
+		Appends:         j.appends.Load(),
+		Checkpoints:     j.checkpoints.Load(),
+		CorruptDiscards: j.discards.Load(),
+		WriteErrors:     j.writeErrors.Load(),
+	}
+	if ns := j.lastCheckpoint.Load(); ns != 0 {
+		s.LastCheckpoint = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	return s
+}

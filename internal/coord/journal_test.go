@@ -1,0 +1,204 @@
+package coord
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestJournal(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(dir, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// Lines deliberately contain spaces: the record parser must treat the
+// payload as opaque bytes, not fields.
+var journalLines = map[string][]byte{
+	"fp-alpha": []byte(`{"mode":"Full Aff","mbps":123.5}`),
+	"fp-beta":  []byte(`{"mode":"No Aff","mbps":88.25}`),
+	"fp-gamma": []byte(`{"mode":"Intr Aff","mbps":101.0}`),
+}
+
+func fillJournal(j *Journal) {
+	for fp, line := range journalLines {
+		j.Append(fp, line)
+	}
+}
+
+func TestJournalReplayAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	fillJournal(j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir)
+	st := j2.Stats()
+	if st.Cells != 3 || st.Resumed != 3 {
+		t.Fatalf("stats after reopen = %+v, want 3 cells all resumed", st)
+	}
+	for fp, want := range journalLines {
+		got, ok := j2.Get(fp)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%s) = %q, %v; want the journaled bytes back verbatim", fp, got, ok)
+		}
+	}
+}
+
+func TestJournalAppendIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	j.Append("fp-dup", []byte(`{"a":1}`))
+	j.Append("fp-dup", []byte(`{"a":1}`))
+	if st := j.Stats(); st.Appends != 1 || st.Cells != 1 {
+		t.Fatalf("stats = %+v, want exactly one append for a repeated fingerprint", st)
+	}
+}
+
+// TestJournalCorruptRecordDiscardsTail mirrors the disk cache's
+// CorruptDiscards: a record that fails its CRC — and everything after it,
+// since a torn write orphans the tail — is treated as unknown.
+func TestJournalCorruptRecordDiscardsTail(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	j.Append("fp-1", []byte(`{"n":1}`))
+	j.Append("fp-2", []byte(`{"n":2}`))
+	j.Append("fp-3", []byte(`{"n":3}`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := filepath.Join(dir, "wal")
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle record.
+	mid := bytes.Index(raw, []byte(`{"n":2}`))
+	if mid < 0 {
+		t.Fatal("middle record not found in wal")
+	}
+	raw[mid+5] ^= 0x01
+	if err := os.WriteFile(wal, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir)
+	st := j2.Stats()
+	if st.Cells != 1 || st.CorruptDiscards != 1 {
+		t.Fatalf("stats = %+v, want only the record before the corruption to survive", st)
+	}
+	if _, ok := j2.Get("fp-1"); !ok {
+		t.Error("record before the corruption lost")
+	}
+	if _, ok := j2.Get("fp-3"); ok {
+		t.Error("record after the corruption served; the tail must be discarded")
+	}
+}
+
+func TestJournalTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	j.Append("fp-1", []byte(`{"n":1}`))
+	j.Append("fp-2", []byte(`{"n":2}`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := filepath.Join(dir, "wal")
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-write, as a crash would.
+	if err := os.Truncate(wal, st.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir)
+	if s := j2.Stats(); s.Cells != 1 || s.CorruptDiscards != 1 {
+		t.Fatalf("stats = %+v, want the torn record discarded", s)
+	}
+	if _, ok := j2.Get("fp-1"); !ok {
+		t.Error("intact record lost with the torn tail")
+	}
+}
+
+func TestJournalCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	fillJournal(j)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, "wal")); err != nil || st.Size() != 0 {
+		t.Fatalf("wal not truncated by checkpoint (err=%v size=%d)", err, st.Size())
+	}
+	if st, err := os.Stat(filepath.Join(dir, "checkpoint")); err != nil || st.Size() == 0 {
+		t.Fatalf("checkpoint file missing or empty (err=%v)", err)
+	}
+	// Post-checkpoint appends land in the fresh wal.
+	j.Append("fp-post", []byte(`{"n":4}`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir)
+	st := j2.Stats()
+	if st.Cells != 4 || st.Resumed != 4 {
+		t.Fatalf("stats after checkpoint+append reopen = %+v, want 4 cells", st)
+	}
+}
+
+// TestJournalFirstWriteWins: a crash between checkpoint-rename and
+// wal-truncate leaves a fingerprint in both files; replay must keep the
+// checkpoint's (first-written) line. The determinism guarantee makes
+// the duplicate byte-identical in practice — this pins the tie-break
+// anyway so a violated guarantee cannot flap a resumed sweep.
+func TestJournalFirstWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir)
+	j.Append("fp-1", []byte(`{"n":"original"}`))
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A stale wal resurrects the fingerprint with different bytes.
+	rec := appendRecord(nil, "fp-1", []byte(`{"n":"stale-dup"}`))
+	if err := os.WriteFile(filepath.Join(dir, "wal"), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir)
+	got, ok := j2.Get("fp-1")
+	if !ok || string(got) != `{"n":"original"}` {
+		t.Fatalf("Get = %q, %v; want the checkpoint's line to win", got, ok)
+	}
+}
+
+func TestJournalNilIsInert(t *testing.T) {
+	var j *Journal
+	j.Append("fp", []byte("x"))
+	if _, ok := j.Get("fp"); ok {
+		t.Fatal("nil journal served a line")
+	}
+	if j.Len() != 0 || j.Stats().Enabled {
+		t.Fatal("nil journal reports state")
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

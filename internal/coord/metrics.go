@@ -25,9 +25,12 @@ type cmetrics struct {
 	hedged          atomic.Uint64
 	hedgeDuplicates atomic.Uint64
 	deduped         atomic.Uint64
+	resumeHits      atomic.Uint64
 	failed          atomic.Uint64
 	registrations   atomic.Uint64
 	evictions       atomic.Uint64
+	breakerOpens    atomic.Uint64
+	cancelled       atomic.Uint64
 
 	mu       sync.Mutex
 	requests map[[2]string]uint64 // {path, code} -> count
@@ -92,6 +95,14 @@ func (m *cmetrics) write(w http.ResponseWriter, c *Coordinator) {
 	counter("affinity_coord_cells_failed_total", "Cells that exhausted their retry budget.", m.failed.Load())
 	counter("affinity_coord_registrations_total", "Workers that joined the fleet.", m.registrations.Load())
 	counter("affinity_coord_evictions_total", "Workers evicted after consecutive missed heartbeats.", m.evictions.Load())
+	counter("affinity_coord_breaker_opens_total", "Worker circuit breakers opened (consecutive dispatch failures or a failed half-open probe).", m.breakerOpens.Load())
+	counter("affinity_coord_dispatches_cancelled_total", "Dispatch attempts cancelled because a twin already won the cell (hedge losers, abandoned requests).", m.cancelled.Load())
+	counter("affinity_coord_journal_resume_hits_total", "Cells served from the durable journal without dispatching.", m.resumeHits.Load())
+	js := c.journal.Stats()
+	counter("affinity_coord_journal_appends_total", "Cells appended to the durable journal this process.", js.Appends)
+	counter("affinity_coord_journal_corrupt_discards_total", "Corrupt or torn journal records discarded on replay.", js.CorruptDiscards)
+	counter("affinity_coord_journal_checkpoints_total", "Journal checkpoint compactions.", js.Checkpoints)
+	counter("affinity_coord_journal_write_errors_total", "Best-effort journal write failures.", js.WriteErrors)
 
 	h := c.health()
 	gauge := func(name, help string, v int) {
@@ -100,6 +111,8 @@ func (m *cmetrics) write(w http.ResponseWriter, c *Coordinator) {
 	gauge("affinity_coord_workers_healthy", "Workers currently in the healthy set.", h.WorkersHealthy)
 	gauge("affinity_coord_workers_total", "Workers registered (healthy or not).", h.WorkersTotal)
 	gauge("affinity_coord_memo_entries", "Resident fleet-memo entries.", h.MemoEntries)
+	gauge("affinity_coord_journal_cells", "Cells resident in the durable journal.", h.Journal.Cells)
+	gauge("affinity_coord_journal_wal_bytes", "Un-compacted journal wal bytes.", int(h.Journal.WALBytes))
 	fmt.Fprintf(&b, "# HELP affinity_coord_fleet_sims_total Simulations executed across the fleet (sum of worker counters).\n# TYPE affinity_coord_fleet_sims_total counter\naffinity_coord_fleet_sims_total %d\n", h.Fleet.Sims)
 
 	m.mu.Lock()

@@ -29,6 +29,35 @@ type workerState struct {
 	queueDepth int
 	sims       uint64
 	engine     serve.EngineHealth
+
+	// Circuit breaker: consecutive dispatch failures open it, a cooloff
+	// later a single half-open probe re-admits the worker. A sick worker
+	// — one that answers heartbeats but fails cells — thus degrades the
+	// fleet gracefully instead of eating every cell's retry budget.
+	brState     breakerState
+	consecFails int
+	brUntil     time.Time // while open: when the next probe is allowed
+	probing     bool      // a half-open probe dispatch is in flight
+}
+
+// breakerState is the per-worker circuit-breaker position.
+type breakerState int
+
+const (
+	brClosed breakerState = iota
+	brOpen
+	brHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 // lease is one acquired dispatch slot on a worker. down is the health
@@ -48,12 +77,19 @@ type registry struct {
 	mu      sync.Mutex
 	workers map[string]*workerState
 	notify  chan struct{} // closed and replaced on any capacity/membership change
+
+	// breakerThreshold consecutive dispatch failures open a worker's
+	// breaker for breakerCooloff; <=0 disables breakers entirely.
+	breakerThreshold int
+	breakerCooloff   time.Duration
 }
 
-func newRegistry() *registry {
+func newRegistry(breakerThreshold int, breakerCooloff time.Duration) *registry {
 	return &registry{
-		workers: make(map[string]*workerState),
-		notify:  make(chan struct{}),
+		workers:          make(map[string]*workerState),
+		notify:           make(chan struct{}),
+		breakerThreshold: breakerThreshold,
+		breakerCooloff:   breakerCooloff,
 	}
 }
 
@@ -107,17 +143,32 @@ func (r *registry) tryAcquire(avoid string) *lease {
 	if pick == nil {
 		return nil
 	}
+	if pick.brState == brHalfOpen {
+		pick.probing = true // one probe at a time; its outcome moves the breaker
+	}
 	pick.inflight++
 	pick.dispatched++
 	return &lease{url: pick.url, down: pick.down}
 }
 
 // best returns the lowest-load healthy worker with a free slot,
-// excluding avoid. Callers hold r.mu.
+// excluding avoid and any worker whose breaker blocks dispatch.
+// Callers hold r.mu.
 func (r *registry) best(avoid string) *workerState {
 	var pick *workerState
 	for _, w := range r.workers {
 		if !w.healthy || w.url == avoid || w.inflight >= w.concurrency {
+			continue
+		}
+		if w.brState == brOpen {
+			if time.Now().Before(w.brUntil) {
+				continue
+			}
+			// Cooloff over: half-open, admitting exactly one probe.
+			w.brState = brHalfOpen
+			w.probing = false
+		}
+		if w.brState == brHalfOpen && w.probing {
 			continue
 		}
 		if pick == nil {
@@ -144,13 +195,53 @@ func (r *registry) release(l *lease) {
 	r.wake()
 }
 
-// fail charges one dispatch failure to a worker (for /healthz).
-func (r *registry) fail(url string) {
+// succeed records one successful dispatch: the failure streak resets and
+// a half-open breaker closes (the probe proved the worker back).
+func (r *registry) succeed(url string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if w, ok := r.workers[url]; ok {
-		w.failures++
+	w, ok := r.workers[url]
+	if !ok {
+		return
 	}
+	w.consecFails = 0
+	w.probing = false
+	if w.brState != brClosed {
+		w.brState = brClosed
+		r.wake()
+	}
+}
+
+// fail charges one dispatch failure to a worker. Enough consecutive
+// failures — or one failed half-open probe — open its breaker for the
+// cooloff; a timer wakes blocked dispatchers when the probe window
+// opens. Reports whether this failure opened (or re-opened) the breaker.
+func (r *registry) fail(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[url]
+	if !ok {
+		return false
+	}
+	w.failures++
+	w.consecFails++
+	w.probing = false
+	if r.breakerThreshold <= 0 {
+		return false
+	}
+	if w.brState == brHalfOpen || (w.brState == brClosed && w.consecFails >= r.breakerThreshold) {
+		w.brState = brOpen
+		w.brUntil = time.Now().Add(r.breakerCooloff)
+		// Dispatchers blocked on the notify channel must re-plan when the
+		// probe window opens, not wait for an unrelated wakeup.
+		time.AfterFunc(r.breakerCooloff, func() {
+			r.mu.Lock()
+			r.wake()
+			r.mu.Unlock()
+		})
+		return true
+	}
+	return false
 }
 
 // waitCh returns the channel that will signal the next capacity or
@@ -236,6 +327,8 @@ type WorkerStatus struct {
 	LastSeenAgo string             `json:"last_seen_ago"`
 	Dispatched  uint64             `json:"dispatched"`
 	Failures    uint64             `json:"failures"`
+	Breaker     string             `json:"breaker"`
+	ConsecFails int                `json:"consecutive_failures"`
 	Sims        uint64             `json:"sims_total"`
 	Engine      serve.EngineHealth `json:"engine"`
 }
@@ -257,6 +350,8 @@ func (r *registry) snapshot() []WorkerStatus {
 			LastSeenAgo: time.Since(w.lastSeen).Round(time.Millisecond).String(),
 			Dispatched:  w.dispatched,
 			Failures:    w.failures,
+			Breaker:     w.brState.String(),
+			ConsecFails: w.consecFails,
 			Sims:        w.sims,
 			Engine:      w.engine,
 		})

@@ -88,6 +88,15 @@ type Result struct {
 	InvariantsChecked  bool
 	InvariantViolation string
 
+	// Aborted marks a run cut short by cooperative cancellation or a
+	// budget watchdog (RunControlled); AbortReason says which. An aborted
+	// Result is a failure signal, not data: its window metrics are
+	// partial, it never enters the cache, and it is never exported — so
+	// the fields stay out of ResultExport and the disk store, keeping
+	// every served byte identical to an uninterrupted run's.
+	Aborted     bool
+	AbortReason string
+
 	// Engine is the simulation engine's cumulative scheduling counters
 	// at the end of the window (not a windowed delta): how many events
 	// the run cost, the queue's high-water mark, and the ladder-band

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// longBody is a deliberately huge cell — a 10-billion-cycle window takes
+// minutes of wall clock, so a watchdog always fires long before it
+// completes naturally.
+const longBody = `{"mode":"full","size":65536,"seed":11,"warmup_cycles":2000000000,"measure_cycles":8000000000}`
+
+// TestTimeoutCancelsSimulation is the fix for the old leak: a request
+// that times out must cancel its simulation — the run aborts, the
+// limiter slot frees, and affinity_sims_cancelled_total ticks. Before
+// this, the 503 went out while the sim burned a slot to completion.
+func TestTimeoutCancelsSimulation(t *testing.T) {
+	// The timeout must beat the (minutes-long) longBody cell by a wide
+	// margin but still leave the tiny follow-up cell room to finish even
+	// under the race detector's slowdown.
+	srv := New(Options{
+		Runner:      core.NewRunner(1),
+		MaxInflight: 1,
+		Timeout:     2 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts.URL+"/v1/run", longBody)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "cancelled") {
+		t.Fatalf("timed-out run: status %d body %q, want 503 mentioning cancellation", code, body)
+	}
+	waitUntil(t, "cancelled simulation to abort and free its slot", func() bool {
+		return srv.simsCancelled.Load() >= 1 && len(srv.sem) == 0
+	})
+
+	// The freed slot serves real work again (retried: on a loaded
+	// machine even the tiny cell can brush the request timeout).
+	waitUntil(t, "freed slot to serve a fresh run", func() bool {
+		code, _ := post(t, ts.URL+"/v1/run", tinyBody(""))
+		return code == http.StatusOK
+	})
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsBody, "affinity_sims_cancelled_total") {
+		t.Error("metrics missing affinity_sims_cancelled_total")
+	}
+	if strings.Contains(metricsBody, "affinity_sims_cancelled_total 0\n") {
+		t.Error("cancelled-sim counter stuck at zero in /metrics")
+	}
+	if strings.Contains(metricsBody, "affinity_sims_inflight 1") {
+		t.Error("in-flight gauge still counts the cancelled simulation")
+	}
+}
+
+// TestSimBudgetFreesHungSlot: the wall-clock watchdog aborts a cell that
+// exceeds its budget even though the client is still waiting — the
+// request gets a clean 503 and the worker slot is free for the next
+// cell, instead of hanging until the request timeout.
+func TestSimBudgetFreesHungSlot(t *testing.T) {
+	srv := New(Options{
+		Runner:      core.NewRunner(1),
+		MaxInflight: 1,
+		SimBudget:   time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	start := time.Now()
+	code, body := post(t, ts.URL+"/v1/run", longBody)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "aborted") {
+		t.Fatalf("over-budget run: status %d body %q, want 503 abort", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("watchdog took %s to abort; the slot effectively hung", elapsed)
+	}
+	if got := srv.budgetAborts.Load(); got != 1 {
+		t.Errorf("budget aborts = %d, want 1", got)
+	}
+	waitUntil(t, "aborted cell to release its slot", func() bool { return len(srv.sem) == 0 })
+
+	// A cell that fits the budget runs normally on the freed slot.
+	code, _ = post(t, ts.URL+"/v1/run", tinyBody(""))
+	if code != http.StatusOK {
+		t.Fatalf("in-budget run after abort: status %d, want 200", code)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsBody, "affinity_sim_budget_aborts_total") {
+		t.Error("metrics missing affinity_sim_budget_aborts_total")
+	}
+}
+
+// TestMaxSimCyclesAborts: the virtual-clock cap is the deterministic
+// budget — a cell whose windows exceed it aborts with the cycle-budget
+// reason regardless of wall-clock speed.
+func TestMaxSimCyclesAborts(t *testing.T) {
+	srv := New(Options{
+		Runner:       core.NewRunner(1),
+		MaxSimCycles: 1_000_000, // below the tiny 2M-cycle warmup
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := post(t, ts.URL+"/v1/run", tinyBody(""))
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, core.AbortCycleBudget) {
+		t.Fatalf("over-cycle-cap run: status %d body %q, want 503 %q", code, body, core.AbortCycleBudget)
+	}
+	if got := srv.budgetAborts.Load(); got != 1 {
+		t.Errorf("budget aborts = %d, want 1", got)
+	}
+	if got := srv.Cache().Stats().Aborts; got != 1 {
+		t.Errorf("cache refused %d aborted results, want 1", got)
+	}
+}

@@ -119,6 +119,9 @@ func (m *metrics) write(w http.ResponseWriter, s *Server) {
 	counter("affinity_cache_corrupt_discards_total", "Corrupt persisted entries discarded (unlinked and treated as misses).", cs.CorruptDiscards)
 	counter("affinity_sims_total", "Simulations actually executed.", cs.Sims)
 	counter("affinity_sweep_cells_cancelled_total", "Sweep cells cancelled before dispatch because their NDJSON stream was abandoned.", s.sweepCancelled.Load())
+	counter("affinity_sims_cancelled_total", "Simulations cooperatively cancelled mid-run (request timed out or client gone).", s.simsCancelled.Load())
+	counter("affinity_sim_budget_aborts_total", "Simulations stopped by the wall-clock or cycle budget watchdog.", s.budgetAborts.Load())
+	counter("affinity_cache_aborts_total", "Aborted simulation results refused by the cache.", cs.Aborts)
 	gauge("affinity_cache_entries", "Resident result-cache entries.", "%d", cs.Entries)
 	gauge("affinity_cache_bytes", "Resident result-cache bytes.", "%d", cs.Bytes)
 	gauge("affinity_cache_hit_ratio", "Served-without-simulating ratio over all lookups.", "%g", cs.HitRatio())

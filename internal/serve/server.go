@@ -66,6 +66,14 @@ type Options struct {
 	// legacy throttle. Malformed values surface as 400s, like
 	// DefaultWorkload.
 	DefaultCoalesce string
+	// SimBudget is the wall-clock watchdog per simulation: a cell still
+	// running after this long is cooperatively cancelled and reported
+	// aborted, freeing its limiter slot instead of hanging it. 0 leaves
+	// only the request timeout (whose expiry also cancels the cell).
+	SimBudget time.Duration
+	// MaxSimCycles caps one simulation's virtual clock: a cell that
+	// would advance past this many cycles aborts instead. 0 = uncapped.
+	MaxSimCycles uint64
 }
 
 // Server is the HTTP face of the simulator.
@@ -82,13 +90,24 @@ type Server struct {
 	defaultCoalesce string
 	metrics         *metrics
 	engines         engineAgg
+	// runCtl executes one cell under a cooperative cancel signal; the
+	// default threads the signal into core.RunControlled, a substituted
+	// Options.Run stub runs uncontrolled.
+	runCtl       func(core.Config, *core.Cancel) *core.Result
+	simBudget    time.Duration
+	maxSimCycles uint64
 	// waiting counts requests blocked on a limiter slot — the queue
 	// depth a coordinator's load-aware planner weighs against.
 	waiting atomic.Int64
 	// sweepCancelled counts sweep cells skipped because their NDJSON
 	// stream was abandoned before they were dispatched.
 	sweepCancelled atomic.Uint64
-	mux            *http.ServeMux
+	// simsCancelled counts simulations cooperatively cancelled mid-run
+	// (timed-out or client-abandoned requests); budgetAborts counts runs
+	// the wall-clock or cycle budget watchdog stopped.
+	simsCancelled atomic.Uint64
+	budgetAborts  atomic.Uint64
+	mux           *http.ServeMux
 }
 
 // engineAgg accumulates scheduler counters across every result the
@@ -164,9 +183,17 @@ func New(opts Options) *Server {
 	if s.cache == nil {
 		s.cache = cache.New(cache.DefaultMaxBytes, "")
 	}
+	s.simBudget = opts.SimBudget
+	s.maxSimCycles = opts.MaxSimCycles
 	inner := opts.Run
 	if inner == nil {
 		inner = core.Run
+		s.runCtl = func(cfg core.Config, cancel *core.Cancel) *core.Result {
+			return core.RunControlled(cfg, cancel, s.maxSimCycles)
+		}
+	} else {
+		// A substituted stub knows nothing of cancellation; run it as-is.
+		s.runCtl = func(cfg core.Config, _ *core.Cancel) *core.Result { return inner(cfg) }
 	}
 	s.run = func(cfg core.Config) *core.Result {
 		res := s.cache.GetOrRun(cfg, inner)
@@ -341,6 +368,56 @@ func (s *Server) runSafe(path string, cfg core.Config) (res *core.Result, err er
 		}
 	}()
 	return s.run(cfg), nil
+}
+
+// runCell executes one cell under the server's cancellation umbrella:
+// the request context, the wall-clock sim budget, and the cycle cap all
+// funnel into one cooperative cancel the engine polls at ladder-bucket
+// boundaries. A cell that aborts frees its limiter slot within a few
+// events instead of simulating into a closed connection — this is the
+// fix for the old "sims are not cancelled" leak. Aborted results are
+// counted here (cancellations vs budget aborts) and returned for the
+// caller to translate into its failure shape.
+func (s *Server) runCell(ctx context.Context, path string, cfg core.Config) (*core.Result, error) {
+	cancel := core.NewCancel()
+	if s.simBudget > 0 {
+		t := time.AfterFunc(s.simBudget, cancel.Cancel)
+		defer t.Stop()
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cancel.Cancel()
+		case <-watchDone:
+		}
+	}()
+	res, err := s.runSafeControlled(path, cfg, cancel)
+	if res != nil && res.Aborted {
+		if ctx.Err() != nil && res.AbortReason == core.AbortCancelled {
+			s.simsCancelled.Add(1)
+		} else {
+			s.budgetAborts.Add(1)
+		}
+	}
+	return res, err
+}
+
+// runSafeControlled is runSafe through the cache with a live cancel
+// signal threaded to the run beneath it.
+func (s *Server) runSafeControlled(path string, cfg core.Config, cancel *core.Cancel) (res *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.panicked(path)
+			res, err = nil, fmt.Errorf("simulation panicked: %v", v)
+		}
+	}()
+	res = s.cache.GetOrRun(cfg, func(c core.Config) *core.Result { return s.runCtl(c, cancel) })
+	if res != nil && !res.Aborted {
+		s.engines.add(res.Engine)
+	}
+	return res, nil
 }
 
 // RunRequest is the JSON body of POST /v1/run and the base of /v1/sweep.
@@ -529,13 +606,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	done := make(chan outcome, 1)
 	go func() {
 		defer release()
-		res, err := s.runSafe("/v1/run", cfg)
+		res, err := s.runCell(r.Context(), "/v1/run", cfg)
 		done <- outcome{res, err}
 	}()
 	select {
 	case o := <-done:
 		if o.err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", o.err)
+			return
+		}
+		if o.res == nil || o.res.Aborted {
+			httpError(w, http.StatusServiceUnavailable, "simulation aborted: %s", abortReason(o.res))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -546,10 +627,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintln(w, out)
 	case <-r.Context().Done():
-		// The simulation cannot be cancelled mid-run; it completes in the
-		// background and still populates the cache for the retry.
-		httpError(w, http.StatusServiceUnavailable, "request timed out; result will be cached for retry")
+		// The watcher inside runCell has already tripped the cancel: the
+		// simulation aborts at its next engine poll and frees its slot —
+		// nothing keeps burning cycles behind this 503.
+		httpError(w, http.StatusServiceUnavailable, "request timed out; simulation cancelled")
 	}
+}
+
+func abortReason(res *core.Result) string {
+	if res == nil || res.AbortReason == "" {
+		return "aborted"
+	}
+	return res.AbortReason
 }
 
 // SweepRequest is the JSON body of POST /v1/sweep: a base cell plus the
@@ -674,16 +763,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// failed cell) cancels every cell not yet dispatched:
 			// coordinator retries and hedges abandon streams routinely,
 			// and simulating the remainder into a closed connection
-			// would burn the whole pool. Cells already simulating run
-			// to completion and still populate the cache.
+			// would burn the whole pool. Cells already simulating are
+			// cooperatively cancelled through runCell's context watcher,
+			// so abandonment frees the pool within a few events.
 			if ctx.Err() != nil {
 				s.sweepCancelled.Add(1)
 				close(ready[i])
 				return
 			}
-			// A panicking cell leaves a nil slot; the stream ends there
-			// rather than skipping it, so truncation signals the failure.
-			out[i], _ = s.runSafe("/v1/sweep", cells[i].Cfg)
+			// A panicking or aborted cell leaves a nil slot; the stream
+			// ends there rather than skipping it, so truncation signals
+			// the failure.
+			res, _ := s.runCell(ctx, "/v1/sweep", cells[i].Cfg)
+			if res != nil && !res.Aborted {
+				out[i] = res
+			}
 			close(ready[i])
 		})
 	}()

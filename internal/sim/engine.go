@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, measured in CPU clock cycles of the
@@ -199,6 +200,17 @@ type Engine struct {
 	halted bool
 	trace  func(t Time, fired uint64)
 	stats  Stats
+
+	// Cooperative interrupt: stop is an externally owned flag polled at
+	// bucket boundaries (and every interruptStride fired events within a
+	// long same-cycle batch); stopAt is a virtual-time budget past which
+	// the run aborts instead of advancing. Both are inert by default —
+	// stop nil, stopAt Forever — so an uninterrupted run pays one nil
+	// check per drained timestamp and is byte-identical to an engine
+	// without the feature.
+	stop        *atomic.Bool
+	stopAt      Time
+	interrupted bool
 }
 
 // SetTrace installs a hook invoked before every event executes, with the
@@ -210,8 +222,33 @@ func (e *Engine) SetTrace(fn func(t Time, fired uint64)) { e.trace = fn }
 // pseudo-random stream is derived from seed. Two engines built with the
 // same seed and fed the same schedule produce identical runs.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{rng: NewRNG(seed), stopAt: Forever}
 }
+
+// interruptStride spaces the in-bucket interrupt polls: within one
+// same-cycle batch the stop flag is checked every 2^12 fired events, so
+// even a pathological cell that never advances its clock stays
+// cancellable, at a cost far below one atomic load per event.
+const interruptStride = 1<<12 - 1
+
+// SetInterrupt installs a cooperative stop signal. Run (and Drain) polls
+// flag at every distinct timestamp and aborts the run when it is set;
+// deadline aborts the run before any event later than that virtual time
+// fires (Forever, or 0, disables the budget). Either abort latches
+// Interrupted. A nil flag with a real deadline is a pure cycle budget;
+// nil flag and Forever uninstalls. The flag is read with atomic loads, so
+// any goroutine may set it while the simulation runs.
+func (e *Engine) SetInterrupt(flag *atomic.Bool, deadline Time) {
+	e.stop = flag
+	if deadline == 0 {
+		deadline = Forever
+	}
+	e.stopAt = deadline
+}
+
+// Interrupted reports whether the last Run (or Drain) was cut short by
+// the SetInterrupt flag or deadline rather than finishing naturally.
+func (e *Engine) Interrupted() bool { return e.interrupted }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -558,6 +595,10 @@ func (e *Engine) drainBucket(b int) {
 		if e.halted {
 			return
 		}
+		if e.stop != nil && e.fired&interruptStride == 0 && e.stop.Load() {
+			e.interrupted = true
+			return
+		}
 	}
 }
 
@@ -568,18 +609,30 @@ func (e *Engine) drainBucket(b int) {
 // of the last fired event when Halt ended the run early.
 func (e *Engine) Run(until Time) Time {
 	e.halted = false
+	e.interrupted = false
 	for !e.halted {
+		if e.stop != nil && e.stop.Load() {
+			e.interrupted = true
+			break
+		}
 		t, ok := e.next()
 		if !ok || t > until {
 			break
 		}
+		if t > e.stopAt {
+			e.interrupted = true
+			break
+		}
 		e.now = t
 		e.drainBucket(int(t) & bandMask)
+		if e.interrupted {
+			break
+		}
 	}
-	// Single horizon clamp: unless Halt stopped the run, the whole
-	// interval up to `until` has been simulated (every remaining event is
-	// later), so the clock advances to the horizon.
-	if !e.halted && e.now < until {
+	// Single horizon clamp: unless Halt or an interrupt stopped the run,
+	// the whole interval up to `until` has been simulated (every
+	// remaining event is later), so the clock advances to the horizon.
+	if !e.halted && !e.interrupted && e.now < until {
 		e.now = until
 	}
 	return e.now
@@ -591,12 +644,22 @@ func (e *Engine) Run(until Time) Time {
 // the run sees teardown events too.
 func (e *Engine) Drain() {
 	e.halted = false
+	e.interrupted = false
 	for !e.halted {
+		if e.stop != nil && e.stop.Load() {
+			// A cancelled run wants a fast unwind, teardown included;
+			// undrained events are plain garbage for the collector.
+			e.interrupted = true
+			return
+		}
 		t, ok := e.next()
 		if !ok {
 			return
 		}
 		e.now = t
 		e.drainBucket(int(t) & bandMask)
+		if e.interrupted {
+			return
+		}
 	}
 }

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestEngineInterruptFlagStopsRun(t *testing.T) {
+	e := NewEngine(1)
+	var stop atomic.Bool
+	e.SetInterrupt(&stop, 0)
+	var fired []int
+	e.At(10, func() { fired = append(fired, 1); stop.Store(true) })
+	e.At(20, func() { fired = append(fired, 2) })
+	e.At(30, func() { fired = append(fired, 3) })
+	e.Run(100)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired %v after cancel, want just the cancelling event", fired)
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() false after flag stop")
+	}
+	if e.Now() == 100 {
+		t.Fatal("interrupted run advanced its clock to the horizon")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after interrupt, want 2 unfired events", e.Pending())
+	}
+}
+
+func TestEngineInterruptDeadlineIsCycleBudget(t *testing.T) {
+	e := NewEngine(1)
+	e.SetInterrupt(nil, 50)
+	var fired []Time
+	e.At(10, func() { fired = append(fired, 10) })
+	e.At(100, func() { fired = append(fired, 100) })
+	e.Run(200)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired %v, want only the pre-deadline event", fired)
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() false after deadline stop")
+	}
+	if e.Now() > 50 {
+		t.Fatalf("clock = %d, advanced past the %d-cycle budget", e.Now(), 50)
+	}
+}
+
+func TestEngineInterruptPollsInsideSameCycleBatch(t *testing.T) {
+	// A pathological cell that never advances its clock must still be
+	// cancellable: the in-bucket stride polls the flag mid-batch.
+	e := NewEngine(1)
+	var stop atomic.Bool
+	e.SetInterrupt(&stop, 0)
+	const n = 3 * (interruptStride + 1)
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(10, func() {
+			count++
+			if count == 1 {
+				stop.Store(true)
+			}
+		})
+	}
+	e.Run(100)
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() false after in-batch cancel")
+	}
+	if count == n {
+		t.Fatalf("all %d same-cycle events fired; the stride poll never triggered", n)
+	}
+}
+
+func TestEngineInterruptUnsetFlagIsIdentity(t *testing.T) {
+	// An installed-but-never-set interrupt must not perturb the run: same
+	// events, same order, same final clock as a plain engine.
+	run := func(install bool) (uint64, Time) {
+		e := NewEngine(7)
+		if install {
+			var stop atomic.Bool
+			e.SetInterrupt(&stop, 0)
+		}
+		var next func(d Cycles)
+		next = func(d Cycles) {
+			if e.Now() > 5000 {
+				return
+			}
+			e.After(d, func() { next(d + Cycles(e.RNG().Intn(7))) })
+		}
+		next(3)
+		e.Run(10_000)
+		return e.Fired(), e.Now()
+	}
+	f0, t0 := run(false)
+	f1, t1 := run(true)
+	if f0 != f1 || t0 != t1 {
+		t.Fatalf("interrupt-armed run diverged: fired %d/%d, clock %d/%d", f0, f1, t0, t1)
+	}
+}
+
+func TestEngineInterruptResetBetweenRuns(t *testing.T) {
+	e := NewEngine(1)
+	var stop atomic.Bool
+	e.SetInterrupt(&stop, 0)
+	e.At(10, func() { stop.Store(true) })
+	e.Run(100)
+	if !e.Interrupted() {
+		t.Fatal("first run not interrupted")
+	}
+	// Uninstall and run again: the latch must clear.
+	e.SetInterrupt(nil, 0)
+	e.At(200, func() {})
+	e.Run(300)
+	if e.Interrupted() {
+		t.Fatal("Interrupted() latched across runs")
+	}
+	if e.Now() != 300 {
+		t.Fatalf("clock = %d, want 300", e.Now())
+	}
+}
+
+func TestEngineDrainHonoursInterrupt(t *testing.T) {
+	e := NewEngine(1)
+	var stop atomic.Bool
+	e.SetInterrupt(&stop, 0)
+	fired := 0
+	e.At(10, func() { fired++; stop.Store(true) })
+	e.At(20, func() { fired++ })
+	e.Drain()
+	if fired != 1 {
+		t.Fatalf("drain fired %d events after cancel, want 1", fired)
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() false after cancelled drain")
+	}
+}

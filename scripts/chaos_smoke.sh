@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Crash-safety smoke: SIGKILL the coordinator mid-sweep and restart it
+# against its journal — the resumed run must re-dispatch ONLY the cells
+# that never completed, a graceful SIGTERM must checkpoint the journal,
+# and SIGKILLing a worker mid-sweep must cost retries, not bytes. Every
+# merged stream is compared byte-for-byte against a single calm worker.
+# CI runs this; locally:
+#
+#   ./scripts/chaos_smoke.sh
+set -euo pipefail
+
+COORD=127.0.0.1:18080
+WORKER_A=127.0.0.1:18081
+WORKER_B=127.0.0.1:18082
+SOLO=127.0.0.1:18083
+TMP=$(mktemp -d)
+JOURNAL="$TMP/journal"
+COORD_PID=""
+trap 'kill "$COORD_PID" "$A_PID" "$B_PID" "$SOLO_PID" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/affinity-serve" ./cmd/affinity-serve
+go build -o "$TMP/affinity-coord" ./cmd/affinity-coord
+
+"$TMP/affinity-serve" -addr "$WORKER_A" -coord "http://$COORD" -announce-interval 1s &
+A_PID=$!
+"$TMP/affinity-serve" -addr "$WORKER_B" -coord "http://$COORD" -announce-interval 1s &
+B_PID=$!
+"$TMP/affinity-serve" -addr "$SOLO" &
+SOLO_PID=$!
+
+start_coord() {
+    "$TMP/affinity-coord" -addr "$COORD" -heartbeat 500ms -evict-after 2 \
+        -retry-base 100ms -journal-dir "$JOURNAL" -journal-sync 10ms &
+    COORD_PID=$!
+}
+
+wait_healthy() { # url predicate-grep
+    for i in $(seq 1 100); do
+        if curl -sf "$1" 2>/dev/null | grep -q "$2"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "chaos_smoke: timed out waiting for $1 to match '$2'" >&2
+    exit 1
+}
+
+metric() { # addr name -> value
+    curl -sf "http://$1/metrics" | awk -v m="$2" '$1 == m { print $2 }'
+}
+
+health_field() { # addr json-key -> value
+    curl -sf "http://$1/healthz" | grep -o "\"$2\": [0-9]*" | awk '{ print $2 }'
+}
+
+wait_healthy "http://$SOLO/healthz" '"status": "ok"'
+SWEEP='{"dir":"tx","seed":31,"warmup_cycles":20000000,"measure_cycles":60000000}'
+curl -sf -X POST "http://$SOLO/v1/sweep" -d "$SWEEP" > "$TMP/golden.ndjson"
+LINES=$(wc -l < "$TMP/golden.ndjson")
+echo "chaos_smoke: golden single-node sweep has $LINES cells"
+
+start_coord
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 2'
+
+# --- 1. SIGKILL the coordinator mid-sweep; the journal carries on ------
+curl -sf -N -X POST "http://$COORD/v1/sweep" -d "$SWEEP" > "$TMP/truncated.ndjson" &
+CURL_PID=$!
+# Wait for at least two completed cells to hit the journal, then murder
+# the coordinator — no drain, no checkpoint, wal only.
+APPENDS=0
+for i in $(seq 1 200); do
+    APPENDS=$(metric "$COORD" affinity_coord_journal_appends_total || true)
+    [ "${APPENDS:-0}" -ge 2 ] && break
+    sleep 0.05
+done
+if [ "${APPENDS:-0}" -lt 2 ]; then
+    echo "chaos_smoke: journal never saw an append; cannot stage the crash" >&2
+    exit 1
+fi
+kill -9 "$COORD_PID"
+wait "$CURL_PID" 2>/dev/null || true
+echo "chaos_smoke: SIGKILLed coordinator after $APPENDS journal appends"
+
+start_coord
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 2'
+RESUMED=$(health_field "$COORD" resumed_cells)
+if [ "${RESUMED:-0}" -lt 2 ]; then
+    echo "chaos_smoke: restarted coordinator resumed $RESUMED cells, want >= 2" >&2
+    exit 1
+fi
+if [ "$RESUMED" -ge "$LINES" ]; then
+    echo "chaos_smoke: all $LINES cells were journaled pre-crash; nothing left to prove resume dispatches the remainder" >&2
+    exit 1
+fi
+echo "chaos_smoke: restarted coordinator resumed $RESUMED cells from the wal"
+
+curl -sf -X POST "http://$COORD/v1/sweep" -d "$SWEEP" > "$TMP/resumed.ndjson"
+cmp "$TMP/golden.ndjson" "$TMP/resumed.ndjson"
+RESUME_HITS=$(metric "$COORD" affinity_coord_journal_resume_hits_total)
+DISPATCHED=$(metric "$COORD" affinity_coord_cells_dispatched_total)
+if [ "$RESUME_HITS" -ne "$RESUMED" ]; then
+    echo "chaos_smoke: $RESUME_HITS resume hits for $RESUMED journaled cells" >&2
+    exit 1
+fi
+if [ "$DISPATCHED" -ne $((LINES - RESUMED)) ]; then
+    echo "chaos_smoke: resumed sweep dispatched $DISPATCHED cells, want $((LINES - RESUMED)) — journaled cells must not re-dispatch" >&2
+    exit 1
+fi
+echo "chaos_smoke: resumed sweep byte-identical ($RESUME_HITS from journal + $DISPATCHED dispatched, 0 re-dispatches)"
+
+# --- 2. Graceful SIGTERM checkpoints; next epoch needs zero dispatches -
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+if [ ! -s "$JOURNAL/checkpoint" ]; then
+    echo "chaos_smoke: SIGTERM drain left no checkpoint" >&2
+    exit 1
+fi
+if [ -s "$JOURNAL/wal" ]; then
+    echo "chaos_smoke: wal not compacted by the shutdown checkpoint" >&2
+    exit 1
+fi
+start_coord
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 2'
+RESUMED=$(health_field "$COORD" resumed_cells)
+if [ "$RESUMED" -ne "$LINES" ]; then
+    echo "chaos_smoke: checkpoint replay resumed $RESUMED of $LINES cells" >&2
+    exit 1
+fi
+curl -sf -X POST "http://$COORD/v1/sweep" -d "$SWEEP" > "$TMP/checkpointed.ndjson"
+cmp "$TMP/golden.ndjson" "$TMP/checkpointed.ndjson"
+DISPATCHED=$(metric "$COORD" affinity_coord_cells_dispatched_total)
+if [ "$DISPATCHED" -ne 0 ]; then
+    echo "chaos_smoke: journal-only sweep dispatched $DISPATCHED cells, want 0" >&2
+    exit 1
+fi
+echo "chaos_smoke: post-SIGTERM epoch served all $LINES cells from the checkpoint (0 dispatches)"
+
+# --- 3. SIGKILL a worker mid-sweep; retries converge, bytes identical --
+SWEEP_C='{"dir":"rx","seed":32,"warmup_cycles":10000000,"measure_cycles":30000000}'
+curl -sf -X POST "http://$SOLO/v1/sweep" -d "$SWEEP_C" > "$TMP/golden_c.ndjson"
+curl -sf -N -X POST "http://$COORD/v1/sweep" -d "$SWEEP_C" > "$TMP/chaos_c.ndjson" &
+CURL_PID=$!
+sleep 2
+kill -9 "$A_PID" 2>/dev/null || true
+echo "chaos_smoke: SIGKILLed worker A mid-sweep"
+wait "$CURL_PID"
+cmp "$TMP/golden_c.ndjson" "$TMP/chaos_c.ndjson"
+wait_healthy "http://$COORD/healthz" '"workers_healthy": 1'
+echo "chaos_smoke: worker loss reassigned; merge still byte-identical; corpse evicted"
+
+echo "chaos_smoke: OK"
